@@ -1,0 +1,43 @@
+"""Figure 5: Median Turns to Convergence vs Convergence Percentage
+(environment dataset).
+
+Same systems and metrics as Figure 4, over the 20 environment questions.
+"""
+
+import pytest
+
+from repro.baselines import FTSSystem, RAGSystem, RetrieverOnlySystem, SeekerSystem
+from repro.eval import evaluate_convergence, render_convergence_figure
+
+
+@pytest.fixture(scope="module")
+def fig5_results(env_eval):
+    factories = {
+        "FTS": lambda: FTSSystem(env_eval.lake),
+        "Pneuma-Retriever": lambda: RetrieverOnlySystem(env_eval.lake),
+        "LlamaIndex": lambda: RAGSystem(env_eval.lake),
+        "Pneuma-Seeker": lambda: SeekerSystem(env_eval.lake),
+    }
+    return evaluate_convergence(env_eval, factories, max_turns=15)
+
+
+def test_fig5_convergence_environment(fig5_results, benchmark):
+    by_name = {r.system: r for r in fig5_results}
+    seeker = by_name["Pneuma-Seeker"]
+    llama = by_name["LlamaIndex"]
+
+    assert seeker.percentage == max(r.percentage for r in fig5_results)
+    assert seeker.percentage >= llama.percentage
+    assert by_name["FTS"].percentage < llama.percentage
+    assert by_name["Pneuma-Retriever"].percentage < llama.percentage
+    # Seeker and LlamaIndex converge in a comparable number of turns.
+    assert abs(seeker.median_turns - llama.median_turns) <= 4
+
+    print()
+    print(render_convergence_figure(fig5_results, "Figure 5 (environment)"))
+
+    benchmark.pedantic(
+        lambda: [(r.system, r.percentage, r.median_turns) for r in fig5_results],
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,35 @@
+"""Table 1: Characteristics of the Datasets.
+
+Paper values: archaeology 5 tables / 11,289 avg rows / 16 avg cols;
+environment 36 tables / 9,199 avg rows / 10 avg cols.  The synthetic lakes
+reproduce the shape exactly at scale 1.0.
+"""
+
+import pytest
+
+from repro.eval import render_table1
+
+PAPER_TABLE1 = {
+    "archaeology": {"num_tables": 5, "avg_rows": 11_289, "avg_cols": 16},
+    "environment": {"num_tables": 36, "avg_rows": 9_199, "avg_cols": 10},
+}
+
+
+def test_table1_shape_matches_paper(arch_full, env_full, benchmark):
+    stats = [arch_full.table_stats(), env_full.table_stats()]
+    for row in stats:
+        paper = PAPER_TABLE1[row["dataset"]]
+        assert row["num_tables"] == paper["num_tables"]
+        assert round(row["avg_rows"]) == paper["avg_rows"]
+        assert round(row["avg_cols"]) == paper["avg_cols"]
+
+    print()
+    print(render_table1(stats))
+    print("(paper: archaeology 5/11,289/16; environment 36/9,199/10)")
+
+    # Time the stats computation itself (a catalog scan).
+    benchmark.pedantic(
+        lambda: (arch_full.table_stats(), env_full.table_stats()),
+        rounds=3,
+        iterations=1,
+    )

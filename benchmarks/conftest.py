@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark harness.
+
+Heavy experiments run once per session here; the bench functions then
+assert the paper-shape, print the paper-style tables, and time a
+representative unit of work (pytest-benchmark insists on timing
+something; re-running whole evaluations per round would be wasteful).
+
+``REPRO_BENCH_SCALE`` (default 0.05) controls the evaluation lake scale;
+Table 1 and the O3 context experiment always use the paper-shape scale 1.0.
+"""
+
+import os
+
+import pytest
+
+from repro.datasets import load_archaeology, load_environment
+
+EVAL_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+
+@pytest.fixture(scope="session")
+def arch_eval():
+    """Archaeology dataset at evaluation scale."""
+    return load_archaeology(scale=EVAL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def env_eval():
+    """Environment dataset at evaluation scale."""
+    return load_environment(scale=EVAL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def arch_full():
+    """Archaeology dataset at the paper's full scale (Table 1 shape)."""
+    return load_archaeology(scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def env_full():
+    """Environment dataset at the paper's full scale (Table 1 shape)."""
+    return load_environment(scale=1.0)

@@ -1,0 +1,71 @@
+"""Quickstart: build a tiny lake, ask Pneuma-Seeker a question, watch (T, Q).
+
+Run:  python examples/quickstart.py
+"""
+
+import datetime
+
+from repro.core import SeekerSession
+from repro.relational import Database, Table
+
+
+def build_lake() -> Database:
+    """A two-table lake: sensor readings plus a station dimension."""
+    lake = Database("demo")
+    lake.register(
+        Table.from_columns(
+            "readings",
+            {
+                "station": ["North", "North", "South", "North", "South", "South"],
+                "day": [datetime.date(2024, 1, d) for d in (1, 3, 5, 7, 9, 11)],
+                "ozone": [31.0, None, 44.0, 35.0, 48.0, 46.0],
+                "pm25": [9.0, 12.0, 15.0, 11.0, 18.0, 14.0],
+            },
+        )
+    )
+    lake.register(
+        Table.from_columns(
+            "stations",
+            {
+                "station": ["North", "South"],
+                "operator": ["City Observatory", "River Authority"],
+            },
+        )
+    )
+    return lake
+
+
+def main() -> None:
+    session = SeekerSession(build_lake(), enable_web=False)
+
+    print("=" * 72)
+    print("TURN 1 - a broad, exploratory question")
+    print("=" * 72)
+    response = session.submit("What air quality data do we have here?")
+    print(response.message)
+    print()
+    print(response.state_view)
+
+    print()
+    print("=" * 72)
+    print("TURN 2 - the refined information need")
+    print("=" * 72)
+    response = session.submit(
+        "What is the average ozone at the South station? "
+    )
+    print(response.message)
+    print()
+    print(response.state_view)
+
+    print()
+    print(f"Final computed answer: {session.answer_value}")
+    usage = session.llm.ledger.total()
+    print(
+        f"LLM usage: {usage.prompt_tokens} prompt + {usage.completion_tokens} "
+        f"completion tokens across {session.llm.ledger.num_calls()} calls "
+        f"({session.llm.clock.now:.0f} virtual seconds)"
+    )
+
+
+if __name__ == "__main__":
+    main()

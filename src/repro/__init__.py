@@ -1,0 +1,9 @@
+"""repro — a reproduction of the Pneuma Project (CIDR 2026).
+
+Pneuma-Seeker reifies a user's information need as a relational data model
+``(T, Q)`` and iteratively aligns it with available data through
+language-guided interaction.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"

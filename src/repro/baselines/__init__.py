@@ -1,0 +1,25 @@
+"""baselines — every comparison system of §4 plus the static-pipeline
+ablation of §3.5."""
+
+from .ds_guru import DSGuruRunner, build_ds_guru_llm
+from .full_context import FullContextAnswer, FullContextRunner, build_full_context_llm
+from .rag_system import RAGSystem, build_rag_llm
+from .seeker_system import SeekerSystem
+from .static_pipeline import StaticPipelineRunner, build_static_llm
+from .static_systems import FTSSystem, RetrieverOnlySystem, render_table_raw
+
+__all__ = [
+    "FTSSystem",
+    "RetrieverOnlySystem",
+    "RAGSystem",
+    "SeekerSystem",
+    "DSGuruRunner",
+    "FullContextRunner",
+    "FullContextAnswer",
+    "StaticPipelineRunner",
+    "build_rag_llm",
+    "build_ds_guru_llm",
+    "build_full_context_llm",
+    "build_static_llm",
+    "render_table_raw",
+]

@@ -1,0 +1,58 @@
+"""The LlamaIndex-like RAG baseline: top-k vector retrieval + LLM reading.
+
+"LlamaIndex adds an LLM on top of a top-k vector retriever to interpret
+the retrieved data for LLM Sim."  The system keeps the running user
+context (chat-engine style), retrieves with it, and asks the RAG policy to
+interpret — but has no executor, so it can never compute an aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..llm.clock import INDEX_LOOKUP_SECONDS
+from ..llm.policies import RAGPolicy
+from ..llm.prompts import parse_response, render_prompt
+from ..llm.rule_llm import RuleLLM
+from ..relational.catalog import Database
+from ..retriever.retriever import PneumaRetriever
+
+
+def build_rag_llm(model_name: str = "O4-mini", **kwargs) -> RuleLLM:
+    llm = RuleLLM(model_name=model_name, **kwargs)
+    llm.register(RAGPolicy())
+    return llm
+
+
+class RAGSystem:
+    """Vector top-k retrieval plus LLM interpretation (no computation)."""
+
+    kind = "rag"
+
+    def __init__(self, lake: Database, llm: Optional[RuleLLM] = None, k: int = 3):
+        self.name = "LlamaIndex"
+        self.lake = lake
+        self.llm = llm or build_rag_llm()
+        self.k = k
+        self.retriever = PneumaRetriever(lake)
+        self._history: List[str] = []
+
+    def respond(self, message: str) -> str:
+        self._history.append(message)
+        question = " ".join(self._history)
+        self.llm.clock.tick(INDEX_LOOKUP_SECONDS)
+        docs = self.retriever.search(question, k=self.k, mode="vector")
+        prompt = render_prompt(
+            "rag",
+            {
+                "QUESTION": question,
+                "CONTEXT": [d.to_json() for d in docs],
+            },
+        )
+        payload = parse_response(self.llm.complete(prompt, "rag"))
+        return payload.get("answer", "")
+
+    def answer(self, question: str):
+        """RQ2 interface: RAG produces prose, never a computed value."""
+        self.respond(question)
+        return None

@@ -1,0 +1,24 @@
+"""Adapter: a SeekerSession as a ConversationalSystem for LLM Sim."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.session import SeekerSession
+from ..relational.catalog import Database
+
+
+class SeekerSystem:
+    """Pneuma-Seeker behind the uniform system interface."""
+
+    kind = "seeker"
+
+    def __init__(self, lake: Database, enable_web: bool = False, **kwargs):
+        self.name = "Pneuma-Seeker"
+        self.session = SeekerSession(lake, enable_web=enable_web, **kwargs)
+
+    def respond(self, message: str) -> str:
+        return self.session.respond(message)
+
+    def answer(self, question: str) -> Any:
+        return self.session.ask(question)

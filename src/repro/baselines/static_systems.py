@@ -1,0 +1,86 @@
+"""The static retrieval baselines of Figures 4 and 5: FTS and
+Pneuma-Retriever.
+
+Both "only return tables, represented by their columns and sample rows"
+(Figure 3's system description) — no interpretation, no computation, no
+conversation state.  FTS is BM25 full-text search over a raw rendering of
+each table (name, header, cell text); Pneuma-Retriever is the hybrid
+narration index.  The raw-table responses are exactly what LLM Sim then
+has to interpret on its own.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..llm.clock import INDEX_LOOKUP_SECONDS, VirtualClock
+from ..relational.catalog import Database
+from ..relational.table import Table
+from ..relational.types import format_value
+from ..retriever.retriever import PneumaRetriever
+from ..text.bm25 import BM25Index
+
+
+def render_table_raw(table: Table, sample_rows: int = 3) -> str:
+    """The raw output a static system returns for one table."""
+    header = ", ".join(table.column_names())
+    lines = [f"table {table.name} | columns: {header}"]
+    for row in table.rows[:sample_rows]:
+        rendered = ", ".join(format_value(v) for v in row)
+        lines.append(f"  row: {rendered}")
+    return "\n".join(lines)
+
+
+def _raw_text(table: Table, max_rows: int = 50) -> str:
+    """What a full-text index over the file contents sees."""
+    cells: List[str] = [table.name]
+    cells.extend(table.column_names())
+    for row in table.rows[:max_rows]:
+        cells.extend(format_value(v) for v in row if v is not None)
+    return " ".join(cells)
+
+
+class FTSSystem:
+    """BM25 full-text search over raw table contents."""
+
+    kind = "static"
+
+    def __init__(self, lake: Database, k: int = 3, clock: VirtualClock = None):
+        self.name = "FTS"
+        self.lake = lake
+        self.k = k
+        self.clock = clock or VirtualClock()
+        self.index = BM25Index()
+        for table in lake.tables():
+            self.index.add(table.name, _raw_text(table))
+
+    def respond(self, message: str) -> str:
+        self.clock.tick(INDEX_LOOKUP_SECONDS)
+        hits = self.index.search(message, k=self.k)
+        if not hits:
+            return "No matching tables."
+        return "\n".join(
+            render_table_raw(self.lake.resolve_table(h.doc_id)) for h in hits
+        )
+
+
+class RetrieverOnlySystem:
+    """Pneuma-Retriever as a standalone (static) discovery system."""
+
+    kind = "static"
+
+    def __init__(self, lake: Database, k: int = 3, clock: VirtualClock = None):
+        self.name = "Pneuma-Retriever"
+        self.lake = lake
+        self.k = k
+        self.clock = clock or VirtualClock()
+        self.retriever = PneumaRetriever(lake)
+
+    def respond(self, message: str) -> str:
+        self.clock.tick(INDEX_LOOKUP_SECONDS)
+        docs = self.retriever.search(message, k=self.k)
+        if not docs:
+            return "No matching tables."
+        return "\n".join(
+            render_table_raw(self.lake.resolve_table(d.title)) for d in docs
+        )

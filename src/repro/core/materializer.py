@@ -1,0 +1,95 @@
+"""The Materializer component (§3.4): populates ``T`` with data.
+
+Context specialization in action: the Materializer sees only what data
+integration needs — the target spec, the interpreted plan, the retrieved
+documents — never the orchestration context.  It asks its LLM for a
+pipeline program, runs it through the Python-interpreter tool, and feeds
+errors back for repair, up to a bounded number of attempts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..llm.clock import TOOL_CALL_SECONDS
+from ..llm.prompts import parse_response, render_prompt
+from ..llm.rule_llm import RuleLLM
+from ..relational.catalog import Database
+from ..relational.table import Table
+from .interpreter import InterpreterError, PipelineInterpreter
+from .state import SharedState, TargetTable
+
+
+@dataclass
+class MaterializationOutcome:
+    """What one materialization attempt chain produced."""
+
+    table: Optional[Table] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    programs: List[List[Dict[str, Any]]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.table is not None
+
+
+class Materializer:
+    """Generate → execute → error-feedback → repair, against the lake."""
+
+    MAX_ATTEMPTS = 3
+
+    def __init__(self, llm: RuleLLM, source: Database, state: SharedState):
+        self.llm = llm
+        self.source = source
+        self.state = state
+        self.interpreter = PipelineInterpreter(source)
+
+    def materialize(
+        self,
+        spec: TargetTable,
+        plan: Optional[Mapping[str, Any]],
+        docs: List[Mapping[str, Any]],
+        note: str = "",
+    ) -> MaterializationOutcome:
+        outcome = MaterializationOutcome()
+        error = ""
+        previous: Optional[List[Dict[str, Any]]] = None
+        for attempt in range(1, self.MAX_ATTEMPTS + 1):
+            outcome.attempts = attempt
+            sections: Dict[str, Any] = {
+                "TARGET": spec.to_json(),
+                "PLAN": plan or {},
+                "DOCS": list(docs),
+                "NOTE": note,
+                "ATTEMPT": str(attempt),
+            }
+            if error:
+                sections["ERROR"] = error
+                sections["PREVIOUS_PROGRAM"] = previous or []
+            prompt = render_prompt("materializer", sections)
+            response = parse_response(self.llm.complete(prompt, "materializer"))
+            program = response.get("program") or []
+            outcome.programs.append(program)
+            previous = program
+            try:
+                result = self.interpreter.run(program)
+                self.llm.clock.tick(TOOL_CALL_SECONDS)
+            except InterpreterError as exc:
+                error = str(exc)
+                self.llm.clock.tick(TOOL_CALL_SECONDS)
+                continue
+            table = result.tables.get(spec.name)
+            if table is None:
+                error = (
+                    f"program produced tables {sorted(result.tables)} but not the "
+                    f"target {spec.name!r}"
+                )
+                continue
+            self.state.record_materialized(table)
+            outcome.table = table
+            outcome.error = None
+            return outcome
+        outcome.error = error
+        return outcome

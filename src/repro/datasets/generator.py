@@ -1,0 +1,56 @@
+"""Seeded synthetic-data helpers shared by the dataset builders."""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def pick(rng: np.random.Generator, values: Sequence[Any], n: int, p: Optional[Sequence[float]] = None) -> List[Any]:
+    """n seeded choices from values (probabilities optional)."""
+    idx = rng.choice(len(values), size=n, p=p)
+    return [values[i] for i in idx]
+
+
+def normal(rng: np.random.Generator, mean: float, std: float, n: int, lo: Optional[float] = None, hi: Optional[float] = None, decimals: int = 2) -> List[float]:
+    data = rng.normal(mean, std, n)
+    if lo is not None or hi is not None:
+        data = np.clip(data, lo, hi)
+    return [round(float(x), decimals) for x in data]
+
+
+def uniform_int(rng: np.random.Generator, lo: int, hi: int, n: int) -> List[int]:
+    return [int(x) for x in rng.integers(lo, hi + 1, n)]
+
+
+def dates_between(
+    rng: np.random.Generator,
+    start: datetime.date,
+    end: datetime.date,
+    n: int,
+    sort: bool = False,
+) -> List[datetime.date]:
+    span = (end - start).days
+    offsets = rng.integers(0, span + 1, n)
+    if sort:
+        offsets = np.sort(offsets)
+    return [start + datetime.timedelta(days=int(o)) for o in offsets]
+
+
+def with_nulls(rng: np.random.Generator, values: List[Any], fraction: float) -> List[Any]:
+    """Replace a seeded fraction of values with None (missing measurements)."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"null fraction must be in [0, 1), got {fraction}")
+    mask = rng.random(len(values)) < fraction
+    return [None if m else v for v, m in zip(values, mask)]
+
+
+def scaled(n: int, scale: float, minimum: int = 40) -> int:
+    """Scale a row count, keeping enough rows for filters to be non-empty."""
+    return max(int(n * scale), minimum)

@@ -1,0 +1,131 @@
+"""The procurement lake + tariff web corpus: the paper's running example.
+
+§1 and §3.6 walk through "What impact will tariffs have on our
+organization?" over a procurement database plus tariff schedules fetched
+from the web.  This module provides that scenario: a procurement lake
+(orders, suppliers, categories, budgets) and an offline Web Search corpus
+whose tariff pages carry structured records (new and previous rates per
+country) the Materializer can integrate.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import List, Tuple
+
+from ..ir.web import WebPage, WebSearch
+from ..relational.catalog import Database
+from ..relational.table import Table
+from .generator import dates_between, make_rng, normal, pick, scaled, uniform_int
+
+COUNTRIES = ["Germany", "France", "Japan", "Brazil", "Canada"]
+
+#: The simulated tariff schedule (rates as fractions, per country).
+TARIFF_RECORDS = [
+    {"country": "Germany", "new_tariff": 0.15, "previous_tariff": 0.05},
+    {"country": "France", "new_tariff": 0.12, "previous_tariff": 0.06},
+    {"country": "Japan", "new_tariff": 0.20, "previous_tariff": 0.10},
+    {"country": "Brazil", "new_tariff": 0.08, "previous_tariff": 0.08},
+    {"country": "Canada", "new_tariff": 0.05, "previous_tariff": 0.02},
+]
+
+
+def build_procurement_lake(scale: float = 1.0, seed: int = 11) -> Database:
+    rng = make_rng(seed)
+    lake = Database("procurement")
+
+    n_suppliers = 60
+    countries = pick(rng, COUNTRIES, n_suppliers)
+    countries[:2] = ["Germany", "Japan"]
+    lake.register(
+        Table.from_columns(
+            "suppliers",
+            {
+                "supplier_id": list(range(1, n_suppliers + 1)),
+                "supplier_name": [f"Supplier {i:04d}" for i in range(1, n_suppliers + 1)],
+                "country": countries,
+                "rating": normal(rng, 4.0, 0.6, n_suppliers, lo=1, hi=5, decimals=1),
+                "contract_start": dates_between(
+                    rng, datetime.date(2015, 1, 1), datetime.date(2023, 1, 1), n_suppliers
+                ),
+            },
+        )
+    )
+
+    n_orders = scaled(4_000, scale)
+    lake.register(
+        Table.from_columns(
+            "purchase_orders",
+            {
+                "order_id": list(range(1, n_orders + 1)),
+                "supplier_id": uniform_int(rng, 1, n_suppliers, n_orders),
+                "country": pick(rng, COUNTRIES, n_orders, p=[0.35, 0.2, 0.2, 0.15, 0.1]),
+                "category": pick(rng, ["lab equipment", "office supplies", "computing", "furniture"], n_orders),
+                "order_date": dates_between(rng, datetime.date(2022, 1, 1), datetime.date(2024, 12, 31), n_orders),
+                "price": normal(rng, 2400.0, 1200.0, n_orders, lo=20, hi=20000, decimals=2),
+                "quantity": uniform_int(rng, 1, 200, n_orders),
+            },
+        )
+    )
+
+    n_budget = 48
+    lake.register(
+        Table.from_columns(
+            "department_budgets",
+            {
+                "department": pick(rng, ["Finance", "Research", "Facilities", "IT"], n_budget),
+                "fiscal_year": uniform_int(rng, 2020, 2025, n_budget),
+                "budget_usd": normal(rng, 1_500_000.0, 400_000.0, n_budget, lo=100_000, decimals=2),
+                "spent_usd": normal(rng, 1_100_000.0, 380_000.0, n_budget, lo=50_000, decimals=2),
+            },
+        )
+    )
+    return lake
+
+
+def build_tariff_web() -> WebSearch:
+    """The offline Web Search corpus with tariff schedules."""
+    pages = [
+        WebPage(
+            url="https://trade.example.gov/tariff-schedule-2025",
+            title="2025 Import Tariff Schedule by Country",
+            text=(
+                "Official import tariff schedule listing the newly enacted tariff "
+                "rates and the previously active tariff rates for goods imported "
+                "from trade partners including Germany, France, Japan, Brazil and "
+                "Canada. Rates apply to all categories including lab equipment."
+            ),
+            records=TARIFF_RECORDS,
+        ),
+        WebPage(
+            url="https://trade.example.gov/press-release",
+            title="Ministry Announces Revised Trade Policy",
+            text=(
+                "The ministry announced revised trade policy affecting import "
+                "duties. Analysts expect procurement costs to rise for organizations "
+                "importing laboratory equipment from affected countries."
+            ),
+            records=[],
+        ),
+        WebPage(
+            url="https://stats.example.org/exchange-rates",
+            title="Historical Exchange Rates",
+            text="Daily exchange rates for major currencies against the USD.",
+            records=[],
+        ),
+    ]
+    return WebSearch(pages)
+
+
+def tariff_impact_ground_truth(lake: Database, country: str = "Germany") -> Tuple[float, float]:
+    """The reference tariff impact for ``country``: (avg new cost, avg delta).
+
+    Impact is computed relative to the previous active tariff, as the user
+    clarifies in §3.6: price * (1 + new_tariff - previous_tariff).
+    """
+    record = next(r for r in TARIFF_RECORDS if r["country"] == country)
+    uplift = 1 + record["new_tariff"] - record["previous_tariff"]
+    avg_price = lake.query_value(
+        f"SELECT AVG(price) FROM purchase_orders WHERE country = '{country}'"
+    )
+    return avg_price * uplift, avg_price * (uplift - 1)

@@ -1,0 +1,70 @@
+"""Benchmark questions: latent information needs with ground truth.
+
+Each :class:`Question` carries the latent question text, the concepts that
+constitute the information need (what LLM Sim must surface/articulate), the
+tables involved, and a *reference implementation* that computes the ground
+truth directly against the lake.  The ``design`` tag records why a question
+is in the set (difficulty class); no system component ever reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from ..core.convergence import Concept
+from ..relational.catalog import Database
+
+
+@dataclass
+class Question:
+    qid: str
+    dataset: str
+    text: str
+    topic: str  # the broad opener topic for LLM Sim
+    concepts: List[Concept]
+    relevant_tables: List[str]
+    reference: Callable[[Database], Any]
+    design: str = ""  # difficulty class, documentation only
+    tolerance: float = 1e-6
+
+    def ground_truth(self, lake: Database) -> Any:
+        """Compute the reference answer against a concrete lake instance."""
+        return self.reference(lake)
+
+    def concepts_json(self) -> List[dict]:
+        return [c.to_json() for c in self.concepts]
+
+
+def answers_match(expected: Any, actual: Any, tolerance: float = 1e-6) -> bool:
+    """Numeric answers match within relative tolerance; others exactly."""
+    if actual is None:
+        return expected is None
+    if isinstance(expected, (int, float)) and not isinstance(expected, bool):
+        if not isinstance(actual, (int, float)) or isinstance(actual, bool):
+            return False
+        if expected == 0:
+            return abs(actual) <= tolerance
+        return abs(actual - expected) <= tolerance * max(abs(expected), 1.0)
+    return expected == actual
+
+
+@dataclass
+class BenchmarkDataset:
+    """A lake plus its questions (one KramaBench dataset analogue)."""
+
+    name: str
+    lake: Database
+    questions: List[Question]
+
+    def table_stats(self) -> dict:
+        """The Table 1 characteristics: #tables, avg rows, avg cols."""
+        tables = self.lake.tables()
+        n = len(tables)
+        return {
+            "dataset": self.name,
+            "num_tables": n,
+            "avg_rows": sum(t.num_rows for t in tables) / n if n else 0.0,
+            "avg_cols": sum(t.num_columns for t in tables) / n if n else 0.0,
+            "num_questions": len(self.questions),
+        }

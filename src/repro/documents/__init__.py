@@ -1,0 +1,5 @@
+"""documents — the uniform document abstraction of the IR System."""
+
+from .document import Document
+
+__all__ = ["Document"]

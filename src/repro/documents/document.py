@@ -1,0 +1,55 @@
+"""The uniform document object the IR System hands to other components.
+
+The paper: "It abstracts heterogeneous retrieval format, such as tables and
+text, into document objects."  A :class:`Document` carries a kind tag, a
+human/LLM-readable text rendering, and a structured JSON payload that
+policies can parse (schema + samples for tables, records for web pages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class Document:
+    """One retrievable unit: a table summary, a web page, or knowledge."""
+
+    doc_id: str
+    kind: str  # 'table' | 'web' | 'knowledge'
+    title: str
+    text: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    score: float = 0.0
+    source: str = ""  # which retriever produced it
+
+    def brief(self, max_chars: int = 240) -> str:
+        """A one-line description used in prompts and user-facing messages."""
+        body = " ".join(self.text.split())
+        if len(body) > max_chars:
+            body = body[: max_chars - 3] + "..."
+        return f"[{self.kind}] {self.title}: {body}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "doc_id": self.doc_id,
+            "kind": self.kind,
+            "title": self.title,
+            "text": self.text,
+            "payload": self.payload,
+            "score": self.score,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Document":
+        return cls(
+            doc_id=data["doc_id"],
+            kind=data["kind"],
+            title=data["title"],
+            text=data.get("text", ""),
+            payload=data.get("payload", {}),
+            score=float(data.get("score", 0.0)),
+            source=data.get("source", ""),
+        )

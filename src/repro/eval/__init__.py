@@ -1,0 +1,36 @@
+"""eval — the paper's evaluation harness (RQ1, RQ2, costs, reports)."""
+
+from .accuracy_eval import (
+    AccuracyResult,
+    ContextOverflowResult,
+    QuestionOutcome,
+    evaluate_accuracy,
+    evaluate_full_context,
+)
+from .convergence_eval import ConvergenceResult, build_sim_llm, evaluate_convergence
+from .cost_eval import CostRow, evaluate_costs
+from .report import (
+    render_context_overflow,
+    render_convergence_figure,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "evaluate_convergence",
+    "ConvergenceResult",
+    "build_sim_llm",
+    "evaluate_accuracy",
+    "AccuracyResult",
+    "QuestionOutcome",
+    "evaluate_full_context",
+    "ContextOverflowResult",
+    "evaluate_costs",
+    "CostRow",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_convergence_figure",
+    "render_context_overflow",
+]

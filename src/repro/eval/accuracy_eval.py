@@ -1,0 +1,108 @@
+"""RQ2: accuracy evaluation (Table 3).
+
+Each system answers every benchmark question from its fully specified
+latent text; an answer counts when it matches the reference ground truth
+within tolerance.  Also runs the O3 full-context baseline and counts its
+context-length failures (the §4.2 side experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..datasets.questions import BenchmarkDataset, Question, answers_match
+
+Answerer = Callable[[Question], Any]
+
+
+@dataclass
+class QuestionOutcome:
+    qid: str
+    truth: Any
+    answer: Any
+    correct: bool
+    error: str = ""
+
+
+@dataclass
+class AccuracyResult:
+    system: str
+    dataset: str
+    total: int
+    correct: int
+    outcomes: List[QuestionOutcome] = field(default_factory=list)
+
+    @property
+    def percentage(self) -> float:
+        return 100.0 * self.correct / self.total if self.total else 0.0
+
+
+def evaluate_accuracy(
+    dataset: BenchmarkDataset,
+    answerers: Dict[str, Answerer],
+) -> List[AccuracyResult]:
+    """Run every registered answerer over every question."""
+    truths = {q.qid: q.ground_truth(dataset.lake) for q in dataset.questions}
+    results: List[AccuracyResult] = []
+    for name, answerer in answerers.items():
+        outcomes: List[QuestionOutcome] = []
+        for question in dataset.questions:
+            error = ""
+            try:
+                answer = answerer(question)
+            except Exception as exc:  # a baseline crash is a wrong answer
+                answer = None
+                error = f"{type(exc).__name__}: {exc}"
+            truth = truths[question.qid]
+            outcomes.append(
+                QuestionOutcome(
+                    qid=question.qid,
+                    truth=truth,
+                    answer=answer,
+                    correct=answers_match(truth, answer, question.tolerance),
+                    error=error,
+                )
+            )
+        results.append(
+            AccuracyResult(
+                system=name,
+                dataset=dataset.name,
+                total=len(outcomes),
+                correct=sum(o.correct for o in outcomes),
+                outcomes=outcomes,
+            )
+        )
+    return results
+
+
+@dataclass
+class ContextOverflowResult:
+    dataset: str
+    total: int
+    exceeded: int
+    correct: int
+
+    @property
+    def exceeded_fraction(self) -> str:
+        return f"{self.exceeded}/{self.total}"
+
+
+def evaluate_full_context(dataset: BenchmarkDataset, runner) -> ContextOverflowResult:
+    """The O3 full-context experiment: count context overflows and correct answers."""
+    exceeded = 0
+    correct = 0
+    for question in dataset.questions:
+        outcome = runner.answer(question)
+        if outcome.context_exceeded:
+            exceeded += 1
+            continue
+        truth = question.ground_truth(dataset.lake)
+        if answers_match(truth, outcome.value, question.tolerance):
+            correct += 1
+    return ContextOverflowResult(
+        dataset=dataset.name,
+        total=len(dataset.questions),
+        exceeded=exceeded,
+        correct=correct,
+    )

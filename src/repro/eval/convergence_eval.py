@@ -1,0 +1,82 @@
+"""RQ1: convergence evaluation (Figures 4 and 5).
+
+Metrics, as defined in §4.1: (1) percentage of benchmark questions for
+which LLM Sim converges, and (2) median turns to convergence with an
+imposed limit of 15 (non-converged questions count the limit).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..datasets.questions import BenchmarkDataset
+from ..llm.policies import UserSimPolicy
+from ..llm.rule_llm import RuleLLM
+from ..sim.runner import ConversationalSystem, SimulationOutcome, SimulationRunner
+
+SystemFactory = Callable[[], ConversationalSystem]
+
+
+def build_sim_llm(model_name: str = "GPT-4o", **kwargs) -> RuleLLM:
+    llm = RuleLLM(model_name=model_name, **kwargs)
+    llm.register(UserSimPolicy())
+    return llm
+
+
+@dataclass
+class ConvergenceResult:
+    system: str
+    dataset: str
+    total: int
+    converged: int
+    median_turns: float
+    avg_seconds_per_prompt: float = 0.0
+    outcomes: List[SimulationOutcome] = field(default_factory=list)
+
+    @property
+    def percentage(self) -> float:
+        return 100.0 * self.converged / self.total if self.total else 0.0
+
+
+def evaluate_convergence(
+    dataset: BenchmarkDataset,
+    factories: Dict[str, SystemFactory],
+    max_turns: int = 15,
+    sim_llm: Optional[RuleLLM] = None,
+) -> List[ConvergenceResult]:
+    """Run LLM Sim against each system on every question of ``dataset``."""
+    results: List[ConvergenceResult] = []
+    for name, factory in factories.items():
+        outcomes: List[SimulationOutcome] = []
+        seconds = []
+        for question in dataset.questions:
+            system = factory()
+            llm = sim_llm or build_sim_llm()
+            runner = SimulationRunner(llm, max_turns=max_turns)
+            clock_source = getattr(system, "session", system)
+            clock = getattr(getattr(clock_source, "llm", None), "clock", None)
+            if clock is None:
+                clock = getattr(clock_source, "clock", None)
+            before = clock.now if clock else 0.0
+            outcome = runner.run(system, question)
+            outcomes.append(outcome)
+            if clock and outcome.turns:
+                seconds.append((clock.now - before) / outcome.turns)
+        turns = [o.turns if o.converged else max_turns for o in outcomes]
+        results.append(
+            ConvergenceResult(
+                system=name,
+                dataset=dataset.name,
+                total=len(outcomes),
+                converged=sum(o.converged for o in outcomes),
+                median_turns=float(statistics.median(turns)) if turns else 0.0,
+                avg_seconds_per_prompt=(
+                    sum(seconds) / len(seconds) if seconds else 0.0
+                ),
+                outcomes=outcomes,
+            )
+        )
+    return results

@@ -1,0 +1,57 @@
+"""Table 2: estimated average token usage and costs across LLM price points.
+
+Runs full LLM-Sim interactions against Pneuma-Seeker for every question of
+a dataset, averages the metered Seeker-side token usage per interaction,
+and prices it at each of the paper's six model price points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..baselines.seeker_system import SeekerSystem
+from ..datasets.questions import BenchmarkDataset
+from ..llm.pricing import MODEL_PRICES, TABLE2_MODEL_ORDER, CostBreakdown
+from ..llm.tokens import Usage
+from .convergence_eval import build_sim_llm
+from ..sim.runner import SimulationRunner
+
+
+@dataclass
+class CostRow:
+    """One row of Table 2: a dataset's average usage priced per model."""
+
+    dataset: str
+    avg_input_tokens: float
+    avg_output_tokens: float
+    costs: Dict[str, CostBreakdown] = field(default_factory=dict)
+
+
+def evaluate_costs(
+    dataset: BenchmarkDataset,
+    max_turns: int = 15,
+    enable_web: bool = False,
+) -> CostRow:
+    """Average Seeker-side tokens per full interaction, priced per model."""
+    total_in = 0
+    total_out = 0
+    interactions = 0
+    for question in dataset.questions:
+        system = SeekerSystem(dataset.lake, enable_web=enable_web)
+        runner = SimulationRunner(build_sim_llm(), max_turns=max_turns)
+        runner.run(system, question)
+        usage = system.session.llm.ledger.total()
+        total_in += usage.prompt_tokens
+        total_out += usage.completion_tokens
+        interactions += 1
+    avg_in = total_in / interactions if interactions else 0.0
+    avg_out = total_out / interactions if interactions else 0.0
+    average = Usage(prompt_tokens=int(avg_in), completion_tokens=int(avg_out))
+    costs = {name: MODEL_PRICES[name].cost(average) for name in TABLE2_MODEL_ORDER}
+    return CostRow(
+        dataset=dataset.name,
+        avg_input_tokens=avg_in,
+        avg_output_tokens=avg_out,
+        costs=costs,
+    )

@@ -1,0 +1,11 @@
+"""frames — a small, NULL-aware DataFrame library.
+
+This is the reproduction's substitute for pandas; the Materializer's
+Python-interpreter tool executes generated pipelines against this API.
+"""
+
+from .frame import DataFrame, FrameError
+from .groupby import GroupBy
+from .series import Series
+
+__all__ = ["DataFrame", "Series", "GroupBy", "FrameError"]

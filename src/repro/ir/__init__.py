@@ -1,0 +1,14 @@
+"""ir — the IR System: multi-source retrieval behind one facade."""
+
+from .docdb import DocumentDatabase, KnowledgeEntry
+from .system import IRSystem, RetrievalResult
+from .web import WebPage, WebSearch
+
+__all__ = [
+    "IRSystem",
+    "RetrievalResult",
+    "WebSearch",
+    "WebPage",
+    "DocumentDatabase",
+    "KnowledgeEntry",
+]

@@ -1,0 +1,85 @@
+"""The Document Database: captured domain knowledge as a retrievable store.
+
+The paper: Pneuma-Seeker "automatically captures knowledge from user
+interactions and save[s] it to Document Database", enabling cross-user
+knowledge transfer — one user's clarification (e.g. "tariff impact must
+account for direct and indirect tariffs") accelerates later sessions.
+It reuses Pneuma-Retriever's indexer (here: the same hybrid index).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..documents.document import Document
+from ..retriever.index import HybridIndex
+
+
+@dataclass
+class KnowledgeEntry:
+    entry_id: str
+    text: str
+    topic: str = ""
+    author: str = ""
+
+
+class DocumentDatabase:
+    """Append-only store of domain-knowledge snippets with hybrid search."""
+
+    def __init__(self) -> None:
+        self.index = HybridIndex(dim=192)
+        self._entries: Dict[str, KnowledgeEntry] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, text: str, topic: str = "", author: str = "") -> KnowledgeEntry:
+        """Capture one knowledge snippet; returns the stored entry."""
+        if not text.strip():
+            raise ValueError("knowledge text must be non-empty")
+        self._counter += 1
+        entry = KnowledgeEntry(f"k{self._counter}", text.strip(), topic, author)
+        self._entries[entry.entry_id] = entry
+        self.index.add(entry.entry_id, f"{topic}. {text}" if topic else text)
+        return entry
+
+    def entries(self) -> List[KnowledgeEntry]:
+        return list(self._entries.values())
+
+    def search(self, query: str, k: int = 3) -> List[Document]:
+        documents = []
+        for hit in self.index.search(query, k=k):
+            entry = self._entries[hit.doc_id]
+            documents.append(
+                Document(
+                    doc_id=f"knowledge:{entry.entry_id}",
+                    kind="knowledge",
+                    title=entry.topic or "captured knowledge",
+                    text=entry.text,
+                    payload={"author": entry.author, "topic": entry.topic},
+                    score=hit.score,
+                    source="document-db",
+                )
+            )
+        return documents
+
+    # ------------------------------------------------------------------
+    # Persistence (emergent documentation should survive the session)
+    # ------------------------------------------------------------------
+    def save(self, path: Path) -> None:
+        records = [
+            {"id": e.entry_id, "text": e.text, "topic": e.topic, "author": e.author}
+            for e in self._entries.values()
+        ]
+        Path(path).write_text(json.dumps(records, indent=2))
+
+    @classmethod
+    def load(cls, path: Path) -> "DocumentDatabase":
+        db = cls()
+        for record in json.loads(Path(path).read_text()):
+            db.add(record["text"], record.get("topic", ""), record.get("author", ""))
+        return db

@@ -1,0 +1,97 @@
+"""The IR System: one retrieval facade over heterogeneous sources.
+
+Dispatches a query to the registered retrievers (Pneuma-Retriever for
+tables, Document Database for captured knowledge, Web Search for external
+pages), normalizes everything into :class:`Document` objects, and merges.
+New retrievers can be registered without changing callers — the
+extensibility property §3.3 calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..documents.document import Document
+from ..ir.docdb import DocumentDatabase
+from ..ir.web import WebSearch
+from ..retriever.retriever import PneumaRetriever
+
+RetrieverFn = Callable[[str, int], List[Document]]
+
+
+@dataclass
+class RetrievalResult:
+    """What one IR call returns: merged documents plus per-source counts."""
+
+    query: str
+    documents: List[Document]
+    per_source: Dict[str, int]
+
+    def tables(self) -> List[Document]:
+        return [d for d in self.documents if d.kind == "table"]
+
+    def web(self) -> List[Document]:
+        return [d for d in self.documents if d.kind == "web"]
+
+    def knowledge(self) -> List[Document]:
+        return [d for d in self.documents if d.kind == "knowledge"]
+
+
+class IRSystem:
+    """Multi-source retrieval with a uniform Document interface."""
+
+    def __init__(
+        self,
+        retriever: Optional[PneumaRetriever] = None,
+        web: Optional[WebSearch] = None,
+        knowledge: Optional[DocumentDatabase] = None,
+    ):
+        self._sources: Dict[str, RetrieverFn] = {}
+        self.retriever = retriever
+        self.web = web
+        self.knowledge = knowledge
+        if retriever is not None:
+            self.register("tables", lambda q, k: retriever.search(q, k))
+        if web is not None:
+            self.register("web", lambda q, k: web.search(q, k))
+        if knowledge is not None:
+            self.register("knowledge", lambda q, k: knowledge.search(q, k))
+
+    def register(self, name: str, fn: RetrieverFn) -> None:
+        """Plug in a new retriever under ``name`` (replaces an existing one)."""
+        self._sources[name] = fn
+
+    def unregister(self, name: str) -> None:
+        """Remove a retriever (the evaluation disables 'web' this way)."""
+        self._sources.pop(name, None)
+
+    def source_names(self) -> List[str]:
+        return sorted(self._sources)
+
+    def retrieve(
+        self, query: str, k_tables: int = 6, k_other: int = 2
+    ) -> RetrievalResult:
+        """Query every registered source and merge the results."""
+        documents: List[Document] = []
+        per_source: Dict[str, int] = {}
+        for name in sorted(self._sources):
+            k = k_tables if name == "tables" else k_other
+            docs = self._sources[name](query, k)
+            per_source[name] = len(docs)
+            documents.extend(docs)
+        return RetrievalResult(query=query, documents=documents, per_source=per_source)
+
+    # ------------------------------------------------------------------
+    # Grounding hooks used by Conductor (see §3.2: grounding decisions on
+    # retrieved data instead of assumptions)
+    # ------------------------------------------------------------------
+    def column_values(self, table_name: str, column: str, limit: int = 200) -> List:
+        if self.retriever is None:
+            return []
+        return self.retriever.column_values(table_name, column, limit)
+
+    def capture_knowledge(self, text: str, topic: str = "", author: str = "") -> None:
+        """Persist a clarification into the Document Database."""
+        if self.knowledge is not None:
+            self.knowledge.add(text, topic=topic, author=author)

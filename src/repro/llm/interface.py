@@ -1,0 +1,43 @@
+"""The language-model interface every component programs against."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from .tokens import UsageLedger, count_tokens
+
+
+class ContextLengthExceeded(Exception):
+    """Raised when a prompt exceeds the model's context window.
+
+    The paper's §4.2 reports exactly this failure mode for the O3
+    full-context baseline (6/12 archaeology, 17/20 environment questions).
+    """
+
+    def __init__(self, tokens: int, limit: int):
+        super().__init__(f"prompt of {tokens} tokens exceeds context limit of {limit}")
+        self.tokens = tokens
+        self.limit = limit
+
+
+class LanguageModel(Protocol):
+    """Minimal protocol: text in, text out."""
+
+    @property
+    def model_name(self) -> str: ...
+
+    def complete(self, prompt: str, component: str = "llm") -> str: ...
+
+
+@dataclass
+class ModelLimits:
+    """Context-window budget enforced on every call."""
+
+    context_tokens: int = 200_000
+
+    def check(self, prompt: str) -> int:
+        tokens = count_tokens(prompt)
+        if tokens > self.context_tokens:
+            raise ContextLengthExceeded(tokens, self.context_tokens)
+        return tokens

@@ -1,0 +1,27 @@
+"""Role-specific policies behind the offline RuleLLM."""
+
+from .conductor import ConductorPolicy
+from .ds_guru import DSGuruPolicy
+from .full_context import FullContextPolicy
+from .materializer import MaterializerPolicy
+from .rag import RAGPolicy
+from .user_sim import UserSimPolicy
+
+ALL_POLICIES = (
+    ConductorPolicy,
+    MaterializerPolicy,
+    RAGPolicy,
+    UserSimPolicy,
+    DSGuruPolicy,
+    FullContextPolicy,
+)
+
+__all__ = [
+    "ConductorPolicy",
+    "MaterializerPolicy",
+    "RAGPolicy",
+    "UserSimPolicy",
+    "DSGuruPolicy",
+    "FullContextPolicy",
+    "ALL_POLICIES",
+]

@@ -1,0 +1,454 @@
+"""The Conductor policy: ReAct-style action selection (§3.2).
+
+Given the sections the Conductor component renders into its prompt — the
+latest user message, accumulated intent, the current ``(T, Q)`` state,
+retrieved documents, grounded column values, and this turn's prior actions —
+the policy emits one ``{"thought", "action"}`` response at a time.
+
+The decision order mirrors the paper's narrative: retrieve before
+assuming; ground filter values in actual data; reify the interpreted need
+as a target schema and queries; materialize; execute; always end with a
+user-facing message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..prompts import render_response, section_json
+from ..semantics import SchemaView, content_tokens, detect_aggregate
+from .planning import build_plan, plan_to_json
+
+
+def _keyword_query(intent: str) -> str:
+    tokens = content_tokens(intent)
+    # Deduplicate while preserving order; cap for index-friendliness.
+    seen: List[str] = []
+    for token in tokens:
+        if token not in seen:
+            seen.append(token)
+    return " ".join(seen[:24])
+
+
+def _target_name(table: str) -> str:
+    return f"{table}_target"
+
+
+class ConductorPolicy:
+    """Selects the Conductor's next action."""
+
+    role = "conductor"
+
+    def respond(self, sections: Mapping[str, str]) -> str:
+        intent = sections.get("INTENT") or sections.get("USER_MESSAGE", "")
+        user_message = sections.get("USER_MESSAGE", "")
+        state = section_json(sections, "STATE", {}) or {}
+        docs = section_json(sections, "RETRIEVED", []) or []
+        grounded = section_json(sections, "GROUNDED", {}) or {}
+        actions_taken = section_json(sections, "ACTIONS", []) or []
+        last_error = sections.get("LAST_ERROR", "")
+        last_result = section_json(sections, "LAST_RESULT", None)
+        knowledge = [d for d in docs if d.get("kind") == "knowledge"]
+
+        kinds = list(actions_taken)
+        tables = [
+            SchemaView.from_payload(d["payload"]) for d in docs if d.get("kind") == "table"
+        ]
+
+        # The harness interrupted us at the action limit: end with a
+        # user-facing message, as §3.2 prescribes.
+        if sections.get("FORCE_MESSAGE"):
+            return self._emit(
+                "The action limit was reached; summarizing progress for the user.",
+                {
+                    "kind": "message_user",
+                    "message": self._summary_message(state, tables, last_result, last_error),
+                },
+            )
+
+        # 1. No evidence yet: retrieve before assuming anything.  On later
+        # turns, retrieve again whenever the user mentions terms the working
+        # documents do not cover (the need moved; the evidence must follow).
+        if "retrieve" not in kinds:
+            if not docs:
+                return self._emit(
+                    "I have no retrieved data for this need yet; I should query the "
+                    "IR System before proposing any schema.",
+                    {"kind": "retrieve", "query": _keyword_query(intent)},
+                )
+            residual = self._residual_tokens(user_message, docs, grounded)
+            if residual:
+                return self._emit(
+                    f"The user now mentions {residual}, which none of my retrieved "
+                    "documents cover; retrieving again before replanning.",
+                    {"kind": "retrieve", "query": " ".join(residual)},
+                )
+
+        if not tables:
+            return self._emit(
+                "Retrieval returned no tables, so the need cannot be grounded in "
+                "available data; I must tell the user instead of fabricating a schema.",
+                {
+                    "kind": "message_user",
+                    "message": (
+                        "I could not find tables relevant to your request in the "
+                        "available sources. Could you describe the data you expect "
+                        "to exist (topic, entities, measurements)?"
+                    ),
+                },
+            )
+
+        # Augment intent with captured domain knowledge (cross-user transfer).
+        effective_intent = intent
+        for doc in knowledge:
+            effective_intent += " " + doc.get("text", "")
+
+        plan_needed = detect_aggregate(effective_intent) is not None
+        sample_plan = build_plan(effective_intent, tables) if plan_needed else None
+        anchor = sample_plan.table if sample_plan else (tables[0].table if tables else None)
+        anchor_schema = next((t for t in tables if t.table == anchor), None)
+        anchor_has_text = bool(anchor_schema and anchor_schema.text_columns())
+
+        # 2. Ground candidate filter values in real data before planning.
+        if plan_needed and anchor_has_text and "ground_values" not in kinds:
+            if anchor not in grounded:
+                return self._emit(
+                    f"The plan will likely filter text columns of {anchor!r}; I should "
+                    "fetch the actual distinct values rather than assume spellings.",
+                    {"kind": "ground_values", "table": anchor, "column": "*"},
+                )
+
+        # 2b. The anchor itself has nothing to filter on: if the question
+        # names an entity no retrieved document mentions, retrieve again with
+        # just the unresolved terms (the dimension table carrying them is
+        # easily crowded out of the first result set).
+        if (
+            plan_needed
+            and not anchor_has_text
+            and kinds.count("retrieve") == 1
+            and "update_state" not in kinds
+        ):
+            residual = self._residual_tokens(user_message, docs, grounded)
+            if residual:
+                return self._emit(
+                    f"The question mentions {residual} but no retrieved document "
+                    "covers those terms; retrieving again with just them.",
+                    {"kind": "retrieve", "query": " ".join(residual)},
+                )
+
+        # 3. Reify the (possibly updated) information need as (T, Q).
+        if "update_state" not in kinds:
+            if plan_needed:
+                plan = build_plan(effective_intent, tables, known_values=grounded)
+                if plan is None:
+                    return self._emit(
+                        "The user asks for a computation but I cannot identify the "
+                        "measure in the retrieved schemas; I need clarification.",
+                        {
+                            "kind": "message_user",
+                            "message": self._clarification_message(tables),
+                        },
+                    )
+                return self._emit(
+                    f"Interpreting the need as: {plan.describe()}. I will reify it as "
+                    "a target schema and a SQL query over the materialized table.",
+                    self._update_state_action(plan, tables, docs, effective_intent),
+                )
+            return self._emit(
+                "The user is exploring; I will reify a browsing schema over the most "
+                "relevant table so they can see what is available.",
+                self._exploratory_state_action(effective_intent, tables),
+            )
+
+        # 4. Materialize T if the spec exists but the instance does not.
+        spec_names = [t["name"] for t in state.get("T", [])]
+        materialized = set(state.get("materialized", []))
+        pending = [name for name in spec_names if name not in materialized]
+        if pending and "materialize" not in kinds and not last_error:
+            return self._emit(
+                f"T defines {pending[0]!r} but it is not materialized yet; Q cannot "
+                "run until the Materializer populates it.",
+                {"kind": "materialize", "table": pending[0], "note": user_message},
+            )
+
+        # 5. Execute Q once T is materialized.
+        if (
+            state.get("Q")
+            and not pending
+            and last_result is None
+            and "execute_sql" not in kinds
+            and not last_error
+        ):
+            return self._emit(
+                "T is materialized and Q is defined; executing Q grounds my answer "
+                "in actual data.",
+                {"kind": "execute_sql"},
+            )
+
+        # 6. Close the turn with user-facing communication.
+        return self._emit(
+            "I have enough to report back; ending the sequence with a user-facing "
+            "message as instructed.",
+            {"kind": "message_user", "message": self._summary_message(
+                state, tables, last_result, last_error
+            )},
+        )
+
+    #: Stemmed words that describe the computation rather than the data;
+    #: they never indicate a missing document.
+    _QUERY_WORDS = frozenset(
+        "averag mean total sum count many maximum minimum highest lowest "
+        "largest smallest least most median middl standard deviate deviation "
+        "correlate ratio percentage round decimal place assum linearly "
+        "interpolat first last record read measur taken collect level "
+        "exceed chang rang what which how much data".split()
+    )
+
+    def _residual_tokens(self, message: str, docs, grounded) -> List[str]:
+        """Question tokens covered by no retrieved document or grounded value."""
+        from ...text.tokenize import tokenize
+
+        known = set()
+        for doc in docs:
+            known.update(tokenize(doc.get("text", "")))
+            known.update(tokenize(doc.get("title", "")))
+            for col in doc.get("payload", {}).get("columns", []):
+                known.update(tokenize(col["name"]))
+        for columns in grounded.values():
+            for values in columns.values():
+                for value in values[:200]:
+                    known.update(tokenize(str(value)))
+        residual = []
+        for token in content_tokens(message):
+            if token.isdigit() or token in self._QUERY_WORDS or token in known:
+                continue
+            if token not in residual:
+                residual.append(token)
+        return residual[:6]
+
+    # ------------------------------------------------------------------
+    # Action builders
+    # ------------------------------------------------------------------
+    def _update_state_action(
+        self, plan, tables: List[SchemaView], docs: Optional[List[Dict[str, Any]]] = None, intent: str = ""
+    ) -> Dict[str, Any]:
+        from ..semantics import plan_to_sql
+
+        target = _target_name(plan.table)
+        primary = next(s for s in tables if s.table == plan.table)
+        columns: List[Dict[str, str]] = []
+
+        def add_column(name: str, dtype: str, source: str) -> None:
+            if name and all(c["name"] != name for c in columns):
+                columns.append({"name": name, "dtype": dtype, "source": source})
+
+        web_specs = self._web_integration(plan, primary, docs or [], intent)
+        for spec in web_specs:
+            add_column(spec["new_column"], "DOUBLE", f"web:{spec['doc_id']}")
+
+        if plan.measure:
+            col = primary.column(plan.measure)
+            add_column(plan.measure, col.dtype if col else "DOUBLE", f"{plan.table}.{plan.measure}")
+        if plan.second_measure:
+            add_column(plan.second_measure, "DOUBLE", f"{plan.table}.{plan.second_measure}")
+        if plan.order_column:
+            col = primary.column(plan.order_column)
+            add_column(plan.order_column, col.dtype if col else "DATE", f"{plan.table}.{plan.order_column}")
+        for f in plan.filters:
+            source_table = plan.join["table"] if plan.join and primary.column(f.column) is None else plan.table
+            add_column(f.column, "TEXT" if isinstance(f.value, str) else "DOUBLE", f"{source_table}.{f.column}")
+        if plan.join:
+            add_column(plan.join["left_on"], "TEXT", f"{plan.table}.{plan.join['left_on']}")
+
+        integration: Dict[str, Any] = {}
+        if plan.join:
+            integration["join"] = plan.join
+        if plan.interpolate:
+            integration["interpolate"] = {"column": plan.measure, "order_by": plan.order_column}
+        if web_specs:
+            integration["web"] = [
+                {k: v for k, v in spec.items() if k != "doc_id"} for spec in web_specs
+            ]
+            add_column(web_specs[0]["key"], "TEXT", f"{plan.table}.{web_specs[0]['key']}")
+
+        table_spec = {
+            "name": target,
+            "columns": columns,
+            "base_tables": [plan.table] + ([plan.join["table"]] if plan.join else []),
+            "integration": integration,
+            "notes": plan.describe(),
+        }
+        return {
+            "kind": "update_state",
+            "table_spec": table_spec,
+            "queries": [plan_to_sql(plan, target)],
+            "plan": plan_to_json(plan),
+        }
+
+    def _web_integration(
+        self,
+        plan,
+        primary: SchemaView,
+        docs: List[Dict[str, Any]],
+        intent: str,
+    ) -> List[Dict[str, Any]]:
+        """Integrate web-page records as new columns (the §3.6 tariff flow).
+
+        A web document's records become a column when (a) one record field
+        matches a text column of the primary table (the join key, e.g.
+        ``country``) and (b) the remaining numeric fields look relevant to
+        the intent.  When the integrated fields are tariff-like, the plan's
+        measure becomes the derived impact expression the paper walks
+        through: ``price * (1 + new_tariff - previous_tariff)``.
+        """
+        from ..semantics import content_tokens, name_match_score
+
+        specs: List[Dict[str, Any]] = []
+        intent_tokens = content_tokens(intent)
+        for doc in docs:
+            if doc.get("kind") != "web":
+                continue
+            records = doc.get("payload", {}).get("records") or []
+            if not records:
+                continue
+            fields = list(records[0].keys())
+            key_field = None
+            key_column = None
+            best = 0.0
+            for f in fields:
+                for col in primary.text_columns():
+                    score = name_match_score(content_tokens(col.name), f)
+                    if score > max(best, 0.45):
+                        best = score
+                        key_field, key_column = f, col.name
+            if key_field is None:
+                continue
+            for f in fields:
+                if f == key_field:
+                    continue
+                if not any(isinstance(r.get(f), (int, float)) for r in records):
+                    continue
+                if name_match_score(intent_tokens, f) <= 0.05:
+                    continue
+                specs.append(
+                    {
+                        "doc_id": doc.get("doc_id", ""),
+                        "records": records,
+                        "key": key_column,
+                        "record_key": key_field,
+                        "value_field": f,
+                        "new_column": f,
+                    }
+                )
+        # Derived tariff-impact measure (§3.6): relative to the previous
+        # active tariff when the user said so, else the new rate alone.
+        new_cols = [s["new_column"] for s in specs]
+        tariff_new = next((c for c in new_cols if "new" in c.lower() and "tariff" in c.lower()), None)
+        tariff_prev = next(
+            (c for c in new_cols if ("prev" in c.lower() or "old" in c.lower()) and "tariff" in c.lower()),
+            None,
+        )
+        lowered = intent.lower()
+        if plan.measure and tariff_new:
+            if tariff_prev and ("previous" in lowered or "relative" in lowered):
+                plan.measure_expr = f"{plan.measure} * (1 + {tariff_new} - {tariff_prev})"
+            else:
+                plan.measure_expr = f"{plan.measure} * (1 + {tariff_new})"
+        return specs
+
+    def _exploratory_state_action(self, intent: str, tables: List[SchemaView]) -> Dict[str, Any]:
+        from .planning import choose_primary_table
+
+        primary = choose_primary_table(intent, tables) or tables[0]
+        target = _target_name(primary.table)
+        table_spec = {
+            "name": target,
+            "columns": [
+                {"name": c.name, "dtype": c.dtype, "source": f"{primary.table}.{c.name}"}
+                for c in primary.columns
+            ],
+            "base_tables": [primary.table],
+            "integration": {},
+            "notes": f"browsing view over {primary.table}",
+        }
+        return {
+            "kind": "update_state",
+            "table_spec": table_spec,
+            "queries": [f"SELECT * FROM {target} LIMIT 5"],
+            "plan": None,
+        }
+
+    # ------------------------------------------------------------------
+    # Message builders (these surface concepts to the user / LLM Sim)
+    # ------------------------------------------------------------------
+    def _clarification_message(self, tables: List[SchemaView]) -> str:
+        parts = ["I found these candidate tables but could not pin down the quantity to compute:"]
+        for schema in tables[:3]:
+            cols = ", ".join(schema.column_names()[:10])
+            parts.append(f"- {schema.table} (columns: {cols})")
+        parts.append("Which measurement should the analysis use?")
+        return "\n".join(parts)
+
+    def _summary_message(
+        self,
+        state: Mapping[str, Any],
+        tables: List[SchemaView],
+        last_result: Any,
+        last_error: str,
+    ) -> str:
+        if last_error:
+            return (
+                "I hit a problem while preparing the data: "
+                f"{last_error}. I have kept the current T and Q in the state view; "
+                "could you adjust or confirm the intended columns and filters?"
+            )
+        parts: List[str] = []
+        specs = state.get("T", [])
+        browsing = bool(specs) and all(
+            "browsing view" in s.get("notes", "") for s in specs
+        )
+        if browsing:
+            # Exploration: surface what is available across the top tables,
+            # not just the one we picked to browse.
+            overview = []
+            for schema in tables[:3]:
+                overview.append(
+                    f"{schema.table} has variables: {', '.join(schema.column_names())}"
+                )
+            parts.append("Here is an overview of the most relevant data I found. ")
+            parts.append("; ".join(overview))
+            parts.append(
+                "I put a browsing view of the most relevant table into T (see the "
+                "state view). Tell me which variables matter and any conditions, "
+                "and I will materialize T and compute it"
+            )
+            return ". ".join(parts)
+        if specs:
+            spec = specs[-1]
+            cols = ", ".join(c["name"] for c in spec.get("columns", []))
+            parts.append(
+                f"I designed the target table {spec['name']} with columns ({cols})"
+            )
+            if spec.get("notes"):
+                parts.append(f"interpreting your need as: {spec['notes']}")
+        if state.get("Q"):
+            parts.append(f"Q is: {state['Q'][-1]}")
+        if last_result is not None:
+            if isinstance(last_result, dict) and "value" in last_result:
+                parts.append(f"Executing Q gives the answer = {last_result['value']}")
+            else:
+                parts.append(f"Executing Q returned: {last_result}")
+            parts.append("Does this match what you had in mind, or should I refine the scope?")
+        elif not specs:
+            names = ", ".join(s.table for s in tables[:4])
+            parts.append(f"I found potentially relevant tables: {names}")
+        else:
+            parts.append(
+                "Tell me which variables matter and any conditions, and I will "
+                "materialize T and compute it"
+            )
+        return ". ".join(parts)
+
+    @staticmethod
+    def _emit(thought: str, action: Dict[str, Any]) -> str:
+        return render_response({"thought": thought, "action": action})

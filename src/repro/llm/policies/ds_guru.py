@@ -1,0 +1,86 @@
+"""The DS-Guru policy: KramaBench's reference framework as a baseline.
+
+"DS-Guru ... instructs an LLM to decompose a question into a sequence of
+subtasks, reason through each step, and synthesize Python code [to]
+implement the plan."  One-shot: it plans against the question plus the
+schemas/sample rows it is handed — no value grounding through an IR
+system, no iterative user feedback, no error-repair loop.  Those missing
+behaviours (not hard-coded failure lists) are what cost it accuracy
+relative to Pneuma-Seeker in Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..prompts import render_response, section_json
+from ..semantics import (
+    FilterSpec,
+    SchemaView,
+    content_tokens,
+    detect_aggregate,
+    detect_round_digits,
+    extract_years,
+    plan_to_sql,
+    wants_first_last,
+    wants_interpolation,
+)
+from .planning import build_plan, plan_to_json
+
+
+class DSGuruPolicy:
+    """One-shot question → subtasks → pipeline + SQL."""
+
+    role = "ds_guru"
+
+    def respond(self, sections: Mapping[str, str]) -> str:
+        question = sections.get("QUESTION", "")
+        docs = section_json(sections, "SCHEMAS", []) or []
+        schemas = [SchemaView.from_payload(d) for d in docs]
+
+        subtasks = self._decompose(question)
+
+        # One-shot plan: sample-row grounding only, single table (DS-Guru
+        # synthesizes per-file pandas code; cross-file joins are where it
+        # loses most KramaBench questions).
+        plan = build_plan(question, schemas, known_values=None, allow_join=False)
+        if plan is None:
+            return render_response(
+                {"subtasks": subtasks, "plan": None, "program": None, "sql": None}
+            )
+        # DS-Guru's toolkit has no interpolation primitive; it reasons about
+        # the aggregate but materializes the raw column.
+        plan.interpolate = False
+
+        program: List[Dict[str, Any]] = [
+            {"op": "load", "table": plan.table, "as": "main"},
+            {"op": "result", "frame": "main", "name": f"{plan.table}_dsguru"},
+        ]
+        sql = plan_to_sql(plan, f"{plan.table}_dsguru")
+        return render_response(
+            {
+                "subtasks": subtasks,
+                "plan": plan_to_json(plan),
+                "program": program,
+                "sql": sql,
+            }
+        )
+
+    @staticmethod
+    def _decompose(question: str) -> List[str]:
+        """The visible 'reason through each step' trace."""
+        steps = ["identify the relevant file(s) for the question"]
+        if detect_aggregate(question):
+            steps.append(f"compute the {detect_aggregate(question)} of the target column")
+        years = extract_years(question)
+        if years:
+            steps.append(f"restrict to year(s) {years}")
+        if wants_first_last(question):
+            steps.append("locate the first and last recorded observations")
+        if wants_interpolation(question):
+            steps.append("interpolate between samples")
+        digits = detect_round_digits(question)
+        if digits is not None:
+            steps.append(f"round the answer to {digits} decimal places")
+        steps.append("synthesize code implementing the plan")
+        return steps

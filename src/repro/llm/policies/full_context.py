@@ -1,0 +1,77 @@
+"""The full-context answerer (the paper's O3 baseline in §4.2).
+
+Receives the *entire* relevant tables serialized into the prompt and
+answers directly.  Whether it ever gets the chance is decided upstream by
+the context-window check in :class:`RuleLLM` — exactly the failure the
+paper reports (6/12 archaeology and 17/20 environment questions exceeded
+the 200k limit).  When the prompt does fit, it plans like a competent
+single-shot model with full visibility of the serialized rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..prompts import render_response, section_json
+from ..semantics import SchemaView, plan_to_sql
+from .planning import build_plan
+
+
+class FullContextPolicy:
+    """Answers from fully serialized tables (when they fit in context)."""
+
+    role = "full_context"
+
+    def respond(self, sections: Mapping[str, str]) -> str:
+        question = sections.get("QUESTION", "")
+        tables_csv = section_json(sections, "TABLES", {}) or {}
+
+        schemas: List[SchemaView] = []
+        values: Dict[str, Dict[str, List[Any]]] = {}
+        for name, text in tables_csv.items():
+            rows = list(csv.DictReader(io.StringIO(text)))
+            if not rows:
+                continue
+            columns = [
+                {"name": col, "dtype": _infer_dtype(rows, col)} for col in rows[0]
+            ]
+            schemas.append(
+                SchemaView.from_payload(
+                    {"name": name, "columns": columns, "num_rows": len(rows), "samples": rows[:5]}
+                )
+            )
+            values[name] = {col: [r[col] for r in rows] for col in rows[0]}
+
+        # Full context = full value visibility, so grounding is free here.
+        plan = build_plan(question, schemas, known_values=values, allow_join=True)
+        if plan is None:
+            return render_response({"answer_value": None, "sql": None})
+        plan.interpolate = False  # direct answering, no preparation toolkit
+        return render_response(
+            {"answer_value": None, "sql": plan_to_sql(plan, plan.table), "plan_table": plan.table}
+        )
+
+
+def _infer_dtype(rows: List[Mapping[str, str]], col: str) -> str:
+    saw_float = False
+    for row in rows[:50]:
+        value = row.get(col, "")
+        if value in ("", None):
+            continue
+        try:
+            int(value)
+            continue
+        except ValueError:
+            pass
+        try:
+            float(value)
+            saw_float = True
+            continue
+        except ValueError:
+            pass
+        if len(value) == 10 and value[4:5] == "-" and value[7:8] == "-":
+            return "DATE"
+        return "TEXT"
+    return "DOUBLE" if saw_float else "INTEGER"

@@ -1,0 +1,60 @@
+"""The RAG-answerer policy (the LlamaIndex-like baseline's LLM).
+
+Interprets the retrieved context for the user: names the relevant tables,
+their variables, and sample values.  It does *not* execute anything — the
+paper's explanation for LlamaIndex's 0% accuracy is that "the questions
+require actual computation ..., not just interpretation of the top-k
+context", and this policy reproduces that boundary honestly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping
+
+from ..prompts import render_response, section_json
+from ..semantics import SchemaView, detect_aggregate, wants_first_last, wants_interpolation
+
+
+class RAGPolicy:
+    """Summarizes retrieved context; never computes."""
+
+    role = "rag"
+
+    def respond(self, sections: Mapping[str, str]) -> str:
+        question = sections.get("QUESTION", "")
+        docs = section_json(sections, "CONTEXT", []) or []
+        parts: List[str] = []
+        tables = [d for d in docs if d.get("kind") == "table"]
+        others = [d for d in docs if d.get("kind") != "table"]
+        if not docs:
+            parts.append("The retrieved context contains nothing relevant to your question.")
+        for doc in tables:
+            schema = SchemaView.from_payload(doc["payload"])
+            cols = ", ".join(schema.column_names())
+            parts.append(
+                f"The table {schema.table} is relevant; it has variables: {cols}."
+            )
+            if schema.samples:
+                sample = schema.samples[0]
+                rendered = ", ".join(f"{k}={v}" for k, v in list(sample.items())[:6])
+                parts.append(f"For example, one record shows {rendered}.")
+        for doc in others:
+            parts.append(f"Additional context ({doc.get('kind')}): {doc.get('text', '')[:200]}")
+        # Interpret preparation needs in the user's own terms (LlamaIndex
+        # explains; it just cannot execute).
+        if wants_interpolation(question):
+            parts.append(
+                "Note that your analysis assumes values linearly interpolated "
+                "between samples."
+            )
+        if wants_first_last(question):
+            parts.append(
+                "You would compare the first and last recorded observations."
+            )
+        if detect_aggregate(question) and tables:
+            parts.append(
+                "Computing that value would require aggregating the underlying rows; "
+                "based on the retrieved snippets I can describe the relevant variables "
+                "but the context alone does not contain the aggregate."
+            )
+        return render_response({"answer": " ".join(parts)})

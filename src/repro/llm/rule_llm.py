@@ -1,0 +1,68 @@
+"""The offline, deterministic language model.
+
+:class:`RuleLLM` sits behind the same boundary a hosted LLM would: callers
+render prompt *strings* (:mod:`repro.llm.prompts`) and parse text responses.
+Internally a registry of role-specific :class:`Policy` objects produces the
+responses — the reproduction's substitute for O4-mini/GPT-4o (DESIGN.md §2).
+Every call is metered (tokens, virtual latency) and checked against the
+context window, so Table 2 and the §4.2 context-overflow behaviour are
+reproduced mechanically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Protocol
+
+from .clock import LLM_CALL_SECONDS, VirtualClock
+from .interface import ContextLengthExceeded, ModelLimits
+from .prompts import parse_prompt
+from .tokens import UsageLedger, count_tokens
+
+
+class Policy(Protocol):
+    """A role-specific response generator (the model's 'capability')."""
+
+    role: str
+
+    def respond(self, sections: Mapping[str, str]) -> str: ...
+
+
+class RuleLLM:
+    """Deterministic multi-role language model with usage metering."""
+
+    def __init__(
+        self,
+        model_name: str = "O4-mini",
+        limits: Optional[ModelLimits] = None,
+        ledger: Optional[UsageLedger] = None,
+        clock: Optional[VirtualClock] = None,
+        seconds_per_call: float = LLM_CALL_SECONDS,
+    ):
+        self._model_name = model_name
+        self.limits = limits or ModelLimits()
+        self.ledger = ledger or UsageLedger()
+        self.clock = clock or VirtualClock()
+        self.seconds_per_call = seconds_per_call
+        self._policies: Dict[str, Policy] = {}
+
+    @property
+    def model_name(self) -> str:
+        return self._model_name
+
+    def register(self, policy: Policy) -> None:
+        self._policies[policy.role] = policy
+
+    def roles(self) -> list:
+        return sorted(self._policies)
+
+    def complete(self, prompt: str, component: str = "") -> str:
+        """One LLM call: context check, policy dispatch, metering."""
+        prompt_tokens = self.limits.check(prompt)  # may raise ContextLengthExceeded
+        role, sections = parse_prompt(prompt)
+        policy = self._policies.get(role)
+        if policy is None:
+            raise KeyError(f"no policy registered for role {role!r}; known: {self.roles()}")
+        response = policy.respond(sections)
+        self.ledger.record(component or role, prompt_tokens, count_tokens(response))
+        self.clock.tick(self.seconds_per_call)
+        return response

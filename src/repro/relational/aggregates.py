@@ -1,0 +1,364 @@
+"""Aggregate function library.
+
+Each aggregate is an :class:`Aggregate` with ``init``/``step``/``final``.
+NULL inputs are skipped (SQL semantics); ``COUNT(*)`` counts every row.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from .errors import BindError, ExecutionError
+from .types import sort_key
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    name: str
+    num_args: int
+    init: Callable[[], Any]
+    step: Callable[[Any, tuple], Any]
+    final: Callable[[Any], Any]
+    skip_nulls: bool = True
+
+
+AGGREGATES: Dict[str, Aggregate] = {}
+
+
+def _register(agg: Aggregate) -> None:
+    AGGREGATES[agg.name] = agg
+
+
+def lookup_aggregate(name: str) -> Optional[Aggregate]:
+    return AGGREGATES.get(name.lower())
+
+
+def is_aggregate_name(name: str) -> bool:
+    return name.lower() in AGGREGATES
+
+
+# -- count -------------------------------------------------------------
+
+_register(
+    Aggregate(
+        "count",
+        1,
+        init=lambda: 0,
+        step=lambda state, args: state + 1,
+        final=lambda state: state,
+    )
+)
+
+# -- sum / avg ---------------------------------------------------------
+
+
+def _numeric(value: Any, fn: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ExecutionError(f"{fn} requires numeric input, got {value!r}")
+    return value
+
+
+_register(
+    Aggregate(
+        "sum",
+        1,
+        init=lambda: None,
+        step=lambda state, args: (state or 0) + _numeric(args[0], "SUM"),
+        final=lambda state: state,
+    )
+)
+
+_register(
+    Aggregate(
+        "avg",
+        1,
+        init=lambda: (0.0, 0),
+        step=lambda state, args: (state[0] + _numeric(args[0], "AVG"), state[1] + 1),
+        final=lambda state: state[0] / state[1] if state[1] else None,
+    )
+)
+
+_register(
+    Aggregate(
+        "mean",
+        1,
+        init=lambda: (0.0, 0),
+        step=lambda state, args: (state[0] + _numeric(args[0], "MEAN"), state[1] + 1),
+        final=lambda state: state[0] / state[1] if state[1] else None,
+    )
+)
+
+# -- min / max ---------------------------------------------------------
+
+
+def _min_step(state: Any, args: tuple) -> Any:
+    value = args[0]
+    if state is None or sort_key(value) < sort_key(state):
+        return value
+    return state
+
+
+def _max_step(state: Any, args: tuple) -> Any:
+    value = args[0]
+    if state is None or sort_key(value) > sort_key(state):
+        return value
+    return state
+
+
+_register(Aggregate("min", 1, init=lambda: None, step=_min_step, final=lambda s: s))
+_register(Aggregate("max", 1, init=lambda: None, step=_max_step, final=lambda s: s))
+
+# -- median / quantiles ------------------------------------------------
+
+
+def _median_final(values: List[Any]) -> Any:
+    if not values:
+        return None
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+_register(
+    Aggregate(
+        "median",
+        1,
+        init=list,
+        step=lambda state, args: state + [_numeric(args[0], "MEDIAN")],
+        final=_median_final,
+    )
+)
+
+
+def _quantile_final(state: tuple) -> Any:
+    values, q = state
+    if not values:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ExecutionError(f"quantile fraction must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    # Linear interpolation between closest ranks.
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    frac = position - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+_register(
+    Aggregate(
+        "quantile",
+        2,
+        init=lambda: ([], 0.5),
+        step=lambda state, args: (state[0] + [_numeric(args[0], "QUANTILE")], args[1]),
+        final=_quantile_final,
+    )
+)
+
+# -- variance / stddev -------------------------------------------------
+
+
+def _var_state() -> list:
+    return []
+
+
+def _variance(values: List[float], population: bool) -> Optional[float]:
+    n = len(values)
+    if n == 0:
+        return None
+    if n == 1:
+        return 0.0 if population else None
+    mean = sum(values) / n
+    ss = sum((v - mean) ** 2 for v in values)
+    return ss / n if population else ss / (n - 1)
+
+
+_register(
+    Aggregate(
+        "var_samp",
+        1,
+        init=_var_state,
+        step=lambda s, a: s + [_numeric(a[0], "VAR_SAMP")],
+        final=lambda s: _variance(s, population=False),
+    )
+)
+_register(
+    Aggregate(
+        "var_pop",
+        1,
+        init=_var_state,
+        step=lambda s, a: s + [_numeric(a[0], "VAR_POP")],
+        final=lambda s: _variance(s, population=True),
+    )
+)
+_register(
+    Aggregate(
+        "variance",
+        1,
+        init=_var_state,
+        step=lambda s, a: s + [_numeric(a[0], "VARIANCE")],
+        final=lambda s: _variance(s, population=False),
+    )
+)
+
+
+def _stddev_final(values: List[float], population: bool) -> Optional[float]:
+    var = _variance(values, population)
+    return math.sqrt(var) if var is not None else None
+
+
+_register(
+    Aggregate(
+        "stddev",
+        1,
+        init=_var_state,
+        step=lambda s, a: s + [_numeric(a[0], "STDDEV")],
+        final=lambda s: _stddev_final(s, population=False),
+    )
+)
+_register(
+    Aggregate(
+        "stddev_samp",
+        1,
+        init=_var_state,
+        step=lambda s, a: s + [_numeric(a[0], "STDDEV_SAMP")],
+        final=lambda s: _stddev_final(s, population=False),
+    )
+)
+_register(
+    Aggregate(
+        "stddev_pop",
+        1,
+        init=_var_state,
+        step=lambda s, a: s + [_numeric(a[0], "STDDEV_POP")],
+        final=lambda s: _stddev_final(s, population=True),
+    )
+)
+
+# -- first / last / arg extrema ----------------------------------------
+
+_SENTINEL = object()
+
+_register(
+    Aggregate(
+        "first",
+        1,
+        init=lambda: _SENTINEL,
+        step=lambda state, args: args[0] if state is _SENTINEL else state,
+        final=lambda state: None if state is _SENTINEL else state,
+    )
+)
+_register(
+    Aggregate(
+        "last",
+        1,
+        init=lambda: _SENTINEL,
+        step=lambda state, args: args[0],
+        final=lambda state: None if state is _SENTINEL else state,
+    )
+)
+
+
+def _arg_min_step(state: Any, args: tuple) -> Any:
+    value, key = args
+    if key is None:
+        return state
+    if state is None or sort_key(key) < sort_key(state[1]):
+        return (value, key)
+    return state
+
+
+def _arg_max_step(state: Any, args: tuple) -> Any:
+    value, key = args
+    if key is None:
+        return state
+    if state is None or sort_key(key) > sort_key(state[1]):
+        return (value, key)
+    return state
+
+
+_register(
+    Aggregate(
+        "arg_min",
+        2,
+        init=lambda: None,
+        step=_arg_min_step,
+        final=lambda state: state[0] if state else None,
+        skip_nulls=False,
+    )
+)
+_register(
+    Aggregate(
+        "arg_max",
+        2,
+        init=lambda: None,
+        step=_arg_max_step,
+        final=lambda state: state[0] if state else None,
+        skip_nulls=False,
+    )
+)
+
+# -- string_agg / bool -------------------------------------------------
+
+_register(
+    Aggregate(
+        "string_agg",
+        2,
+        init=lambda: ([], ","),
+        step=lambda state, args: (state[0] + [str(args[0])], args[1]),
+        final=lambda state: state[1].join(state[0]) if state[0] else None,
+    )
+)
+_register(
+    Aggregate(
+        "bool_and",
+        1,
+        init=lambda: None,
+        step=lambda state, args: bool(args[0]) if state is None else state and bool(args[0]),
+        final=lambda state: state,
+    )
+)
+_register(
+    Aggregate(
+        "bool_or",
+        1,
+        init=lambda: None,
+        step=lambda state, args: bool(args[0]) if state is None else state or bool(args[0]),
+        final=lambda state: state,
+    )
+)
+
+# -- correlation -------------------------------------------------------
+
+
+def _corr_final(pairs: List[tuple]) -> Optional[float]:
+    n = len(pairs)
+    if n < 2:
+        return None
+    xs = [p[0] for p in pairs]
+    ys = [p[1] for p in pairs]
+    mx, my = sum(xs) / n, sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in pairs)
+    sx = math.sqrt(sum((x - mx) ** 2 for x in xs))
+    sy = math.sqrt(sum((y - my) ** 2 for y in ys))
+    if sx == 0 or sy == 0:
+        return None
+    return cov / (sx * sy)
+
+
+_register(
+    Aggregate(
+        "corr",
+        2,
+        init=list,
+        step=lambda s, a: s + [(_numeric(a[0], "CORR"), _numeric(a[1], "CORR"))],
+        final=_corr_final,
+    )
+)

@@ -1,0 +1,86 @@
+"""The catalog / database facade: named tables plus a SQL entry point.
+
+:class:`Database` is the object the rest of the system holds: the
+Materializer registers tables into it, the SQL Executor tool runs ``Q``
+against it, and the datasets load their lakes into one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from .errors import CatalogError
+from .executor import Executor
+from .parser import parse, parse_script
+from .table import Table
+
+
+class Database:
+    """A named collection of in-memory tables with a SQL interface."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog protocol (used by the executor)
+    # ------------------------------------------------------------------
+    def resolve_table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"table {name!r} does not exist; known tables: {self.table_names()}"
+            ) from None
+
+    def put_table(self, table: Table, replace: bool = False) -> None:
+        key = table.name.lower()
+        if not replace and key in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    # ------------------------------------------------------------------
+    # Convenience API
+    # ------------------------------------------------------------------
+    def register(self, table: Table, replace: bool = True) -> None:
+        """Add (or replace) a table in the catalog."""
+        self.put_table(table, replace=replace)
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(t.name for t in self._tables.values())
+
+    def tables(self) -> List[Table]:
+        return [self._tables[k] for k in sorted(self._tables)]
+
+    def execute(self, sql: str) -> Table:
+        """Parse and execute a single SQL statement."""
+        return Executor(self).execute_statement(parse(sql))
+
+    def execute_script(self, sql: str) -> List[Table]:
+        """Execute a ';'-separated script, returning one result per statement."""
+        executor = Executor(self)
+        return [executor.execute_statement(stmt) for stmt in parse_script(sql)]
+
+    def query_value(self, sql: str) -> Any:
+        """Execute a query expected to return a single scalar value."""
+        return self.execute(sql).single_value()
+
+    def copy(self, name: Optional[str] = None) -> "Database":
+        """A shallow copy (tables are immutable-by-convention, so shared)."""
+        clone = Database(name or self.name)
+        clone._tables = dict(self._tables)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Database({self.name!r}, tables={self.table_names()})"

@@ -1,0 +1,40 @@
+"""Errors raised by the relational engine.
+
+The hierarchy mirrors the stages of query processing so callers (notably the
+Materializer's error-feedback loop) can react differently to a syntax error
+versus a binding or runtime error.
+"""
+
+from __future__ import annotations
+
+
+class RelationalError(Exception):
+    """Base class for all relational-engine errors."""
+
+
+class LexError(RelationalError):
+    """Raised when the SQL text cannot be tokenized."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(RelationalError):
+    """Raised when the token stream is not valid SQL."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(RelationalError):
+    """Raised when names (tables, columns, functions) cannot be resolved."""
+
+
+class ExecutionError(RelationalError):
+    """Raised when a query fails at runtime (e.g., bad cast, div by zero)."""
+
+
+class CatalogError(RelationalError):
+    """Raised for catalog-level problems (missing/duplicate tables)."""

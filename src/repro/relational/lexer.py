@@ -1,0 +1,130 @@
+"""Tokenizer for the SQL dialect.
+
+Produces a flat list of :class:`Token`; keywords are case-insensitive, string
+literals use single quotes with ``''`` escaping, and identifiers may be
+double-quoted to preserve case or include spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .errors import LexError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "OFFSET", "AS", "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "IS",
+    "IN", "LIKE", "ILIKE", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "CAST", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON",
+    "USING", "UNION", "INTERSECT", "EXCEPT", "ALL", "DISTINCT", "ASC",
+    "DESC", "NULLS", "FIRST", "LAST", "CREATE", "TABLE", "INSERT", "INTO",
+    "VALUES", "DROP", "IF", "EXISTS", "REPLACE", "WITH", "EXCLUDE",
+}
+
+OPERATORS = [
+    "||", "<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%",
+    "(", ")", ",", ".", ";",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'op' | 'eof'
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value in names
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "op" and self.value in ops
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql``; raises :class:`LexError` on invalid characters."""
+    tokens: List[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", i)
+            i = end + 2
+            continue
+        if ch == "'":
+            j = i + 1
+            chunks: List[str] = []
+            while True:
+                if j >= n:
+                    raise LexError("unterminated string literal", i)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        chunks.append("'")
+                        j += 2
+                        continue
+                    break
+                chunks.append(sql[j])
+                j += 1
+            tokens.append(Token("string", "".join(chunks), i))
+            i = j + 1
+            continue
+        if ch == '"':
+            j = sql.find('"', i + 1)
+            if j == -1:
+                raise LexError("unterminated quoted identifier", i)
+            tokens.append(Token("ident", sql[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and sql[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", n))
+    return tokens

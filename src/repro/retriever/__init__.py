@@ -1,0 +1,15 @@
+"""retriever — Pneuma-Retriever: hybrid table discovery (HNSW + BM25)."""
+
+from .index import HybridHit, HybridIndex
+from .retriever import PneumaRetriever
+from .summarizer import narrate_column, narrate_table, sample_rows, table_payload
+
+__all__ = [
+    "PneumaRetriever",
+    "HybridIndex",
+    "HybridHit",
+    "narrate_table",
+    "narrate_column",
+    "sample_rows",
+    "table_payload",
+]

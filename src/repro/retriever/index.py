@@ -1,0 +1,93 @@
+"""Pneuma-Retriever's hybrid index: HNSW vector store + BM25 inverted index.
+
+Scores from the two halves are fused by weighted reciprocal-rank fusion,
+which is robust to their incomparable score scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ann.hnsw import HNSWIndex
+from ..text.bm25 import BM25Index
+from ..text.embedding import HashingEmbedder
+
+
+@dataclass
+class HybridHit:
+    doc_id: str
+    score: float
+    bm25_rank: Optional[int] = None
+    vector_rank: Optional[int] = None
+
+
+class HybridIndex:
+    """Dual lexical/dense index over (doc_id, text) pairs."""
+
+    def __init__(
+        self,
+        dim: int = 192,
+        rrf_k: int = 60,
+        bm25_weight: float = 1.0,
+        vector_weight: float = 1.0,
+        seed: int = 13,
+    ):
+        self.embedder = HashingEmbedder(dim=dim)
+        self.bm25 = BM25Index()
+        self.vectors = HNSWIndex(dim=dim, metric="cosine", m=12, ef_construction=64, seed=seed)
+        self.rrf_k = rrf_k
+        self.bm25_weight = bm25_weight
+        self.vector_weight = vector_weight
+        self._texts: Dict[str, str] = {}
+
+    def add(self, doc_id: str, text: str) -> None:
+        """Index a document under both halves (re-add replaces lexical side)."""
+        self.bm25.add(doc_id, text)
+        if doc_id not in self.vectors:
+            self.vectors.add(doc_id, self.embedder.embed(text))
+        self._texts[doc_id] = text
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._texts
+
+    def text_of(self, doc_id: str) -> str:
+        return self._texts[doc_id]
+
+    def search(self, query: str, k: int = 5, mode: str = "hybrid") -> List[HybridHit]:
+        """Top-k fusion search.
+
+        ``mode`` supports the retrieval ablation: 'hybrid' (default),
+        'bm25' (lexical only), or 'vector' (dense only).
+        """
+        if mode not in ("hybrid", "bm25", "vector"):
+            raise ValueError(f"unknown search mode {mode!r}")
+        pool = max(k * 3, 10)
+        bm25_ranks: Dict[str, int] = {}
+        vector_ranks: Dict[str, int] = {}
+        if mode in ("hybrid", "bm25"):
+            for rank, hit in enumerate(self.bm25.search(query, k=pool)):
+                bm25_ranks[hit.doc_id] = rank
+        if mode in ("hybrid", "vector"):
+            for rank, hit in enumerate(self.vectors.search(self.embedder.embed(query), k=pool)):
+                vector_ranks[hit.key] = rank
+
+        fused: Dict[str, float] = {}
+        for doc_id, rank in bm25_ranks.items():
+            fused[doc_id] = fused.get(doc_id, 0.0) + self.bm25_weight / (self.rrf_k + rank + 1)
+        for doc_id, rank in vector_ranks.items():
+            fused[doc_id] = fused.get(doc_id, 0.0) + self.vector_weight / (self.rrf_k + rank + 1)
+
+        ranked = sorted(fused.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            HybridHit(
+                doc_id,
+                score,
+                bm25_rank=bm25_ranks.get(doc_id),
+                vector_rank=vector_ranks.get(doc_id),
+            )
+            for doc_id, score in ranked[:k]
+        ]

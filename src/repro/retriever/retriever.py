@@ -1,0 +1,82 @@
+"""Pneuma-Retriever: end-to-end table discovery over a Database.
+
+Narrates every table (schema + samples), indexes the narrations in the
+hybrid index, and answers natural-language queries with table Documents.
+This is both a component of the IR System and the standalone
+"Pneuma-Retriever" baseline of Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..documents.document import Document
+from ..relational.catalog import Database
+from ..relational.table import Table
+from .index import HybridIndex
+from .summarizer import narrate_table, table_payload
+
+
+class PneumaRetriever:
+    """Hybrid (HNSW + BM25) table discovery, as in Balaka et al. [1]."""
+
+    def __init__(self, database: Database, dim: int = 192, sample_rows: int = 3):
+        self.database = database
+        self.sample_rows = sample_rows
+        self.index = HybridIndex(dim=dim)
+        self._narrations: Dict[str, str] = {}
+        for table in database.tables():
+            self._index_table(table)
+
+    def _index_table(self, table: Table) -> None:
+        narration = narrate_table(table)
+        self._narrations[table.name] = narration
+        self.index.add(table.name, narration)
+
+    def refresh(self) -> None:
+        """Re-index tables added to the database since construction."""
+        for table in self.database.tables():
+            if table.name not in self._narrations:
+                self._index_table(table)
+
+    def narration(self, table_name: str) -> str:
+        return self._narrations[table_name]
+
+    def search(self, query: str, k: int = 5, mode: str = "hybrid") -> List[Document]:
+        """Top-k tables as Documents (payload = schema + sample rows)."""
+        documents = []
+        for hit in self.index.search(query, k=k, mode=mode):
+            table = self.database.resolve_table(hit.doc_id)
+            documents.append(
+                Document(
+                    doc_id=f"table:{table.name}",
+                    kind="table",
+                    title=table.name,
+                    text=self._narrations[table.name],
+                    payload=table_payload(table, self.sample_rows),
+                    score=hit.score,
+                    source="pneuma-retriever",
+                )
+            )
+        return documents
+
+    def column_values(self, table_name: str, column: str, limit: int = 200) -> List:
+        """Distinct values of a column (the grounding hook Conductor uses).
+
+        The paper: Conductor "grounds its decisions on data retrieved from
+        IR System, rather than relying solely on assumptions."
+        """
+        table = self.database.resolve_table(table_name)
+        values = []
+        seen = set()
+        for value in table.column_values(column):
+            if value is None:
+                continue
+            key = str(value)
+            if key in seen:
+                continue
+            seen.add(key)
+            values.append(value)
+            if len(values) >= limit:
+                break
+        return values

@@ -1,0 +1,15 @@
+"""sim — the LLM-Sim user simulation (§4, Figure 3)."""
+
+from .personas import BEHAVIOR, PERSONAS, SCENARIO, persona_for
+from .runner import ConversationalSystem, SimTurn, SimulationOutcome, SimulationRunner
+
+__all__ = [
+    "SimulationRunner",
+    "SimulationOutcome",
+    "SimTurn",
+    "ConversationalSystem",
+    "persona_for",
+    "PERSONAS",
+    "SCENARIO",
+    "BEHAVIOR",
+]

@@ -1,0 +1,31 @@
+"""Domain-expert personas for LLM Sim (the paper's Figure 3 template)."""
+
+from __future__ import annotations
+
+PERSONAS = {
+    "archaeology": (
+        "an archaeologist familiar with excavation datasets, soil chemistry "
+        "measurements, artifact catalogs, and radiocarbon dating results"
+    ),
+    "environment": (
+        "an environmental scientist familiar with air quality monitoring, "
+        "water sampling programs, and regional weather observations"
+    ),
+}
+
+SCENARIO = (
+    "The system already has access to internal datasets. You are familiar "
+    "with the domain and have seen similar datasets before. You are not "
+    "uploading new datasets or asking if they exist - you assume they do."
+)
+
+BEHAVIOR = (
+    "Explore and refine your question step-by-step depending on the system's "
+    "responses. Be vague or explore tangents, just as a curious analyst "
+    "would. Only arrive at the specific question if the system's output "
+    "correctly leads you there."
+)
+
+
+def persona_for(dataset: str) -> str:
+    return PERSONAS.get(dataset, "a data analyst exploring an enterprise dataset")

@@ -1,0 +1,74 @@
+"""Deterministic feature-hashing embeddings.
+
+The paper's Pneuma-Retriever uses neural sentence embeddings in its HNSW
+vector store.  Offline, we substitute signed feature hashing over word
+unigrams, word bigrams, and character trigrams, L2-normalized.  Cosine
+similarity then reflects lexical/sub-lexical overlap, which is what the
+hybrid index needs from the dense half on our corpora (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .tokenize import char_ngrams, tokenize
+
+
+def _hash_feature(feature: str, dim: int) -> tuple:
+    """Stable (index, sign) pair for a feature string."""
+    digest = hashlib.blake2b(feature.encode("utf-8"), digest_size=8).digest()
+    value = int.from_bytes(digest, "little")
+    index = value % dim
+    sign = 1.0 if (value >> 63) & 1 else -1.0
+    return index, sign
+
+
+class HashingEmbedder:
+    """Maps text to a fixed-dimension unit vector, deterministically."""
+
+    #: Relative weights of the three feature families.
+    WORD_WEIGHT = 1.0
+    BIGRAM_WEIGHT = 0.75
+    CHAR_WEIGHT = 0.25
+
+    def __init__(self, dim: int = 256):
+        if dim < 8:
+            raise ValueError(f"embedding dim must be >= 8, got {dim}")
+        self.dim = dim
+
+    def _features(self, text: str) -> List[tuple]:
+        words = tokenize(text)
+        features = [(f"w:{w}", self.WORD_WEIGHT) for w in words]
+        features += [
+            (f"b:{a}_{b}", self.BIGRAM_WEIGHT) for a, b in zip(words, words[1:])
+        ]
+        features += [(f"c:{g}", self.CHAR_WEIGHT) for g in char_ngrams(text, 3)]
+        return features
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one text as a float64 unit vector (zero vector for empty text)."""
+        vec = np.zeros(self.dim, dtype=np.float64)
+        for feature, weight in self._features(text):
+            index, sign = _hash_feature(feature, self.dim)
+            vec[index] += sign * weight
+        norm = np.linalg.norm(vec)
+        if norm > 0:
+            vec /= norm
+        return vec
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed many texts into a (n, dim) matrix."""
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.embed(t) for t in texts])
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0.0 when either is zero)."""
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na == 0 or nb == 0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))

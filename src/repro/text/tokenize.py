@@ -1,0 +1,80 @@
+"""Tokenization, stopwords, and light stemming for the retrieval stack."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+# A compact English stopword list; enough to keep BM25 scores meaningful on
+# schema narrations and questions without an external dependency.
+STOPWORDS = frozenset(
+    """
+    a an and are as at be but by for from has have in into is it its of on or
+    that the their there these they this to was were what when where which who
+    will with would you your i we our us can could should about above after
+    all also am any because been before being below between both did do does
+    doing down during each few further he her here hers him his how if me more
+    most my no nor not now off once only other out over own same she so some
+    such than then through under until up very
+    """.split()
+)
+
+_VERB_SUFFIXES = ("ingly", "edly", "ing", "ed", "ly")
+
+
+def stem(token: str) -> str:
+    """A light suffix-stripping stemmer (deterministic, no tables).
+
+    Not Porter-complete, but collapses the inflections that matter for
+    matching schema narrations against questions (e.g. ``samples`` ->
+    ``sample``, ``recorded`` -> ``record``, ``studies`` -> ``study``).
+    """
+    if len(token) <= 3:
+        return token
+    # Plurals first, then verb endings (so "readings" -> "reading" -> "read").
+    if token.endswith("sses"):
+        token = token[:-2]
+    elif token.endswith("ies") and len(token) > 4:
+        token = token[:-3] + "y"
+    elif token.endswith("ss") or token.endswith("us") or token.endswith("is"):
+        pass
+    elif token.endswith("s"):
+        token = token[:-1]
+    if token.endswith("ation") and len(token) - 5 >= 3:
+        # "interpolation" -> "interpolate" (then the final-e strip below
+        # aligns it with "interpolated" -> "interpolat").
+        token = token[:-5] + "ate"
+    for suffix in _VERB_SUFFIXES:
+        if token.endswith(suffix) and len(token) - len(suffix) >= 3:
+            token = token[: -len(suffix)]
+            # Undouble trailing consonants: "planning" -> "plan".
+            if len(token) >= 2 and token[-1] == token[-2] and token[-1] not in "aeiou":
+                token = token[:-1]
+            break
+    # Final-e normalization collapses "sample"/"samples" and
+    # "interpolate"/"interpolated" to one form.
+    if token.endswith("e") and len(token) > 4:
+        token = token[:-1]
+    return token
+
+
+def tokenize(text: str, stop: bool = True, do_stem: bool = True) -> List[str]:
+    """Lowercase word tokens; snake_case and camelCase split into words."""
+    # Split camelCase before lowering so column names narrate well.
+    text = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", text)
+    tokens = _TOKEN_RE.findall(text.lower())
+    if stop:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    if do_stem:
+        tokens = [stem(t) for t in tokens]
+    return tokens
+
+
+def char_ngrams(text: str, n: int = 3) -> List[str]:
+    """Character n-grams over the normalized text (for robust embeddings)."""
+    normalized = " ".join(_TOKEN_RE.findall(text.lower()))
+    if len(normalized) < n:
+        return [normalized] if normalized else []
+    return [normalized[i : i + n] for i in range(len(normalized) - n + 1)]

@@ -1,0 +1,54 @@
+"""Unit tests for the Conductor action space encoding."""
+
+import pytest
+
+from repro.core import (
+    ActionError,
+    ExecuteSQL,
+    GroundValues,
+    Materialize,
+    MessageUser,
+    Reason,
+    Retrieve,
+    UpdateState,
+    action_from_json,
+    action_to_json,
+)
+
+
+class TestDecoding:
+    def test_all_kinds_decode(self):
+        cases = [
+            ({"kind": "reason", "thought": "hm"}, Reason),
+            ({"kind": "retrieve", "query": "tariffs"}, Retrieve),
+            ({"kind": "ground_values", "table": "t", "column": "*"}, GroundValues),
+            ({"kind": "update_state", "queries": ["SELECT 1"]}, UpdateState),
+            ({"kind": "materialize", "table": "t"}, Materialize),
+            ({"kind": "execute_sql"}, ExecuteSQL),
+            ({"kind": "message_user", "message": "hi"}, MessageUser),
+        ]
+        for payload, cls in cases:
+            action = action_from_json(payload)
+            assert isinstance(action, cls)
+            assert action.kind == payload["kind"]
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ActionError):
+            action_from_json({"kind": "teleport"})
+
+    def test_missing_kind_raises(self):
+        with pytest.raises(ActionError):
+            action_from_json({"query": "x"})
+
+    def test_bad_fields_raise(self):
+        with pytest.raises(ActionError):
+            action_from_json({"kind": "retrieve", "nonsense": True})
+
+    def test_round_trip(self):
+        action = Retrieve(query="find tariffs")
+        payload = action_to_json(action)
+        assert payload == {"kind": "retrieve", "query": "find tariffs"}
+        assert action_from_json(payload) == action
+
+    def test_to_json_omits_empty(self):
+        assert action_to_json(ExecuteSQL()) == {"kind": "execute_sql"}

@@ -1,0 +1,116 @@
+"""Unit tests for the Conductor loop and Materializer repair behaviour."""
+
+import datetime
+
+import pytest
+
+from repro.core import Conductor, Materializer, SeekerSession, SharedState, TargetColumn, TargetTable
+from repro.core.session import build_seeker_llm
+from repro.ir import IRSystem
+from repro.relational import Database, Table
+from repro.retriever import PneumaRetriever, table_payload
+
+
+@pytest.fixture
+def lake():
+    db = Database("lake")
+    db.register(
+        Table.from_columns(
+            "orders",
+            {
+                "country": ["Germany", "Japan", "Germany"],
+                "price": [100.0, 200.0, 300.0],
+                "order_date": [datetime.date(2024, 1, d) for d in (1, 2, 3)],
+            },
+        )
+    )
+    return db
+
+
+def make_components(lake):
+    llm = build_seeker_llm()
+    state = SharedState()
+    materializer = Materializer(llm, lake, state)
+    ir = IRSystem(retriever=PneumaRetriever(lake))
+    conductor = Conductor(llm, ir, state, materializer)
+    return conductor, materializer, state
+
+
+class TestConductorLoop:
+    def test_turn_ends_with_message(self, lake):
+        conductor, _, _ = make_components(lake)
+        log = conductor.handle_turn("What is the average price?")
+        assert log.reply
+        assert log.actions[-1]["kind"] == "message_user"
+
+    def test_working_memory_persists_across_turns(self, lake):
+        conductor, _, _ = make_components(lake)
+        conductor.handle_turn("what data do we have on orders?")
+        docs_after_first = set(conductor.docs)
+        conductor.handle_turn("average price for Germany?")
+        assert docs_after_first <= set(conductor.docs)
+
+    def test_grounding_stores_full_values(self, lake):
+        conductor, _, _ = make_components(lake)
+        conductor.handle_turn("What is the average price for Germany?")
+        assert "orders" in conductor.grounded
+        assert "Germany" in conductor.grounded["orders"]["country"]
+
+    def test_redefined_spec_invalidates_materialization(self, lake):
+        conductor, _, state = make_components(lake)
+        conductor.handle_turn("what orders data is there?")
+        assert state.is_materialized("orders_target")
+        first = state.materialized.resolve_table("orders_target")
+        conductor.handle_turn("What is the average price for Germany?")
+        second = state.materialized.resolve_table("orders_target")
+        assert second.column_names() != first.column_names()
+
+    def test_thoughts_are_recorded(self, lake):
+        conductor, _, _ = make_components(lake)
+        log = conductor.handle_turn("average price?")
+        assert all(isinstance(t, str) and t for t in log.thoughts)
+
+
+class TestMaterializer:
+    def _spec(self, columns):
+        return TargetTable(
+            name="orders_target",
+            columns=[TargetColumn(c, "DOUBLE") for c in columns],
+            base_tables=["orders"],
+        )
+
+    def test_success_records_state(self, lake):
+        _, materializer, state = make_components(lake)
+        docs = [{"doc_id": "table:orders", "kind": "table", "title": "orders",
+                 "text": "", "payload": table_payload(lake.resolve_table("orders"))}]
+        outcome = materializer.materialize(self._spec(["price"]), None, docs)
+        assert outcome.ok
+        assert outcome.attempts == 1
+        assert state.is_materialized("orders_target")
+
+    def test_repair_recovers_from_bad_column(self, lake):
+        _, materializer, state = make_components(lake)
+        docs = [{"doc_id": "table:orders", "kind": "table", "title": "orders",
+                 "text": "", "payload": table_payload(lake.resolve_table("orders"))}]
+        # 'ghost' cannot be selected; attempt 1 fails, repair drops the
+        # select op, attempt 2 succeeds.
+        outcome = materializer.materialize(self._spec(["price", "ghost"]), None, docs)
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert len(outcome.programs) == 2
+
+    def test_exhausted_attempts_reports_error(self, lake):
+        _, materializer, state = make_components(lake)
+        spec = TargetTable(name="orders_target", columns=[], base_tables=["no_such_table"])
+        outcome = materializer.materialize(spec, None, [])
+        assert not outcome.ok
+        assert outcome.error
+        assert outcome.attempts == Materializer.MAX_ATTEMPTS
+
+
+class TestSessionAnswerValue:
+    def test_non_scalar_result_gives_none(self, lake):
+        session = SeekerSession(lake, enable_web=False)
+        session.submit("show me the orders data")
+        # Browsing views return multiple rows/columns, not a scalar answer.
+        assert session.answer_value is None

@@ -1,0 +1,127 @@
+"""Unit tests for the evaluation harness and report rendering."""
+
+import pytest
+
+from repro.datasets import load_archaeology
+from repro.eval import (
+    evaluate_accuracy,
+    evaluate_convergence,
+    evaluate_costs,
+    render_context_overflow,
+    render_convergence_figure,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.eval.accuracy_eval import AccuracyResult, ContextOverflowResult, QuestionOutcome
+from repro.eval.convergence_eval import ConvergenceResult
+from repro.eval.cost_eval import CostRow
+from repro.llm.pricing import MODEL_PRICES
+from repro.llm.tokens import Usage
+
+
+@pytest.fixture(scope="module")
+def arch():
+    ds = load_archaeology(scale=0.02)
+    ds.questions = ds.questions[:2]  # keep harness tests fast
+    return ds
+
+
+class TestAccuracyEval:
+    def test_correct_and_incorrect(self, arch):
+        truths = {q.qid: q.ground_truth(arch.lake) for q in arch.questions}
+        results = evaluate_accuracy(
+            arch,
+            {
+                "oracle": lambda q: truths[q.qid],
+                "dunno": lambda q: None,
+            },
+        )
+        by_name = {r.system: r for r in results}
+        assert by_name["oracle"].percentage == 100.0
+        assert by_name["dunno"].percentage == 0.0
+
+    def test_crash_counts_as_wrong(self, arch):
+        def boom(question):
+            raise RuntimeError("kaput")
+
+        results = evaluate_accuracy(arch, {"crasher": boom})
+        assert results[0].correct == 0
+        assert all("kaput" in o.error for o in results[0].outcomes)
+
+
+class TestConvergenceEval:
+    def test_runs_against_factory(self, arch):
+        class Yes:
+            name = "yes-system"
+            kind = "static"
+
+            def respond(self, message):
+                return "raw output"
+
+        results = evaluate_convergence(arch, {"yes-system": lambda: Yes()}, max_turns=3)
+        assert results[0].total == 2
+        assert results[0].median_turns == 3.0  # static never converges here
+
+
+class TestCostEval:
+    def test_cost_row_structure(self, arch):
+        row = evaluate_costs(arch, max_turns=3)
+        assert row.dataset == "archaeology"
+        assert row.avg_input_tokens > 0
+        assert set(row.costs) == set(MODEL_PRICES)
+        # O4-mini cost must follow its price sheet exactly.
+        o4 = row.costs["O4-mini"]
+        assert o4.input_cost == pytest.approx(
+            int(row.avg_input_tokens) * 1.10 / 1_000_000
+        )
+
+
+class TestReports:
+    def test_table1(self):
+        text = render_table1(
+            [
+                {"dataset": "archaeology", "num_tables": 5, "avg_rows": 11289.0, "avg_cols": 16.0},
+                {"dataset": "environment", "num_tables": 36, "avg_rows": 9199.0, "avg_cols": 10.0},
+            ]
+        )
+        assert "11,289" in text
+        assert "36" in text
+
+    def test_table2(self):
+        usage = Usage(248_351, 2_854)
+        row = CostRow(
+            dataset="archaeology",
+            avg_input_tokens=usage.prompt_tokens,
+            avg_output_tokens=usage.completion_tokens,
+            costs={name: price.cost(usage) for name, price in MODEL_PRICES.items()},
+        )
+        text = render_table2([row])
+        assert "248,351" in text
+        # O4-mini on the paper's token counts lands at ~$0.27 in.
+        assert "$0.27" in text
+
+    def test_table3(self):
+        results = [
+            AccuracyResult("LlamaIndex", "archaeology", 12, 0),
+            AccuracyResult("Pneuma-Seeker", "archaeology", 12, 5),
+        ]
+        text = render_table3(results)
+        assert "0.00%" in text
+        assert "41.67%" in text
+
+    def test_figure_renders_scatter(self):
+        results = [
+            ConvergenceResult("FTS", "archaeology", 12, 1, 15.0),
+            ConvergenceResult("Pneuma-Seeker", "archaeology", 12, 8, 5.0),
+        ]
+        text = render_convergence_figure(results, "Figure 4")
+        assert "Figure 4" in text
+        assert "[1] FTS" in text
+        assert "median turns" in text
+
+    def test_context_overflow_report(self):
+        text = render_context_overflow(
+            [ContextOverflowResult("archaeology", 12, 6, 0)]
+        )
+        assert "6/12" in text

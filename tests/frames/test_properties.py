@@ -1,0 +1,121 @@
+"""Property-based tests: frames and the relational engine must agree.
+
+The Materializer can express the same logical operation either as a
+pipeline (frames) or as SQL (relational); these properties pin the two
+execution paths to identical semantics.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frames import DataFrame, Series
+from repro.relational import Database, Table
+
+values = st.one_of(st.none(), st.integers(min_value=-5, max_value=5))
+columns = st.lists(values, min_size=0, max_size=10)
+
+
+def both_paths(xs):
+    df = DataFrame({"x": xs})
+    db = Database()
+    db.register(Table.from_columns("t", {"x": xs}))
+    return df, db
+
+
+@given(columns)
+def test_sum_agrees(xs):
+    df, db = both_paths(xs)
+    assert df["x"].sum() == db.query_value("SELECT SUM(x) FROM t")
+
+
+@given(columns)
+def test_mean_agrees(xs):
+    df, db = both_paths(xs)
+    frame_mean = df["x"].mean()
+    sql_mean = db.query_value("SELECT AVG(x) FROM t")
+    if frame_mean is None:
+        assert sql_mean is None
+    else:
+        assert abs(frame_mean - sql_mean) < 1e-12
+
+
+@given(columns)
+def test_median_agrees(xs):
+    df, db = both_paths(xs)
+    assert df["x"].median() == db.query_value("SELECT MEDIAN(x) FROM t")
+
+
+@given(columns)
+def test_filter_agrees(xs):
+    df, db = both_paths(xs)
+    frame_kept = df.filter(df["x"] > 0)["x"].tolist()
+    sql_kept = db.execute("SELECT x FROM t WHERE x > 0").column_values("x")
+    assert frame_kept == sql_kept
+
+
+@given(columns)
+def test_dropna_matches_is_not_null(xs):
+    df, db = both_paths(xs)
+    assert (
+        df.dropna()["x"].tolist()
+        == db.execute("SELECT x FROM t WHERE x IS NOT NULL").column_values("x")
+    )
+
+
+@given(columns)
+def test_sort_agrees_on_non_nulls(xs):
+    df, db = both_paths(xs)
+    frame_sorted = df.sort_values("x")["x"].tolist()
+    sql_sorted = db.execute("SELECT x FROM t ORDER BY x").column_values("x")
+    assert frame_sorted == sql_sorted  # both put NULLs last, stable
+
+
+@given(columns, columns)
+def test_merge_agrees_with_join_cardinality(xs, ys):
+    left = DataFrame({"k": xs})
+    right = DataFrame({"k": ys})
+    db = Database()
+    db.register(Table.from_columns("a", {"k": xs}))
+    db.register(Table.from_columns("b", {"k": ys}))
+    merged = left.merge(right, on="k")
+    joined = db.query_value("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k")
+    assert len(merged) == joined
+
+
+@given(columns)
+def test_groupby_count_agrees(xs):
+    df, db = both_paths(xs)
+    frame_counts = {
+        r["x"]: r["n"] for r in df.groupby("x").agg(n=("x", "count")).to_dicts()
+    }
+    sql = db.execute("SELECT x, COUNT(x) AS n FROM t GROUP BY x")
+    sql_counts = {row[0]: row[1] for row in sql.rows}
+    assert frame_counts == sql_counts
+
+
+@given(columns)
+def test_table_round_trip_preserves_rows(xs):
+    df = DataFrame({"x": xs, "y": [str(v) if v is not None else None for v in xs]})
+    back = DataFrame.from_table(df.to_table("t"))
+    assert back.to_dicts() == df.to_dicts()
+
+
+@given(st.lists(st.one_of(st.none(), st.floats(min_value=-100, max_value=100)), max_size=12))
+def test_interpolate_never_touches_known_values(xs):
+    series = Series(xs)
+    result = series.interpolate()
+    for original, filled in zip(series, result):
+        if original is not None:
+            assert filled == original
+
+
+@given(st.lists(st.one_of(st.none(), st.floats(min_value=-100, max_value=100)), max_size=12))
+def test_interpolate_fills_within_bounds(xs):
+    series = Series(xs)
+    result = series.interpolate()
+    known = [v for v in xs if v is not None]
+    if len(known) >= 2:
+        lo, hi = min(known), max(known)
+        for value in result:
+            if value is not None:
+                assert lo - 1e-9 <= value <= hi + 1e-9

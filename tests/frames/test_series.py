@@ -1,0 +1,134 @@
+"""Unit tests for Series: NULL-aware vector operations."""
+
+import datetime
+
+import pytest
+
+from repro.frames import Series
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        assert (Series([1, 2, None]) + 1).tolist() == [2, 3, None]
+
+    def test_add_series(self):
+        assert (Series([1, 2]) + Series([10, 20])).tolist() == [11, 22]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Series([1]) + Series([1, 2])
+
+    def test_subtraction_and_reflected(self):
+        assert (10 - Series([1, 2])).tolist() == [9, 8]
+
+    def test_multiplication_division(self):
+        assert (Series([2, 4]) * 3).tolist() == [6, 12]
+        assert (Series([2, 4]) / 2).tolist() == [1.0, 2.0]
+
+    def test_negation(self):
+        assert (-Series([1, None])).tolist() == [-1, None]
+
+
+class TestComparisonsAndLogic:
+    def test_comparison_propagates_null(self):
+        assert (Series([1, None, 3]) > 2).tolist() == [False, None, True]
+
+    def test_and_or(self):
+        a = Series([True, True, False])
+        b = Series([True, False, False])
+        assert (a & b).tolist() == [True, False, False]
+        assert (a | b).tolist() == [True, True, False]
+
+    def test_invert(self):
+        assert (~Series([True, None, False])).tolist() == [False, None, True]
+
+    def test_isin(self):
+        assert Series([1, 2, None]).isin([1]).tolist() == [True, False, None]
+
+
+class TestTransforms:
+    def test_map_skips_nulls(self):
+        assert Series([1, None]).map(lambda v: v * 10).tolist() == [10, None]
+
+    def test_fillna(self):
+        assert Series([1, None]).fillna(0).tolist() == [1, 0]
+
+    def test_astype(self):
+        assert Series(["1", "2"]).astype(int).tolist() == [1, 2]
+
+    def test_clip(self):
+        assert Series([1, 5, 10]).clip(2, 8).tolist() == [2, 5, 8]
+
+    def test_diff(self):
+        assert Series([1, 3, 6]).diff().tolist() == [None, 2, 3]
+
+    def test_shift(self):
+        assert Series([1, 2, 3]).shift(1).tolist() == [None, 1, 2]
+        assert Series([1, 2, 3]).shift(-1).tolist() == [2, 3, None]
+
+    def test_cumsum(self):
+        assert Series([1, 2, None, 3]).cumsum().tolist() == [1.0, 3.0, None, 6.0]
+
+
+class TestInterpolate:
+    def test_fills_gap_linearly(self):
+        result = Series([0.0, None, None, 3.0]).interpolate()
+        assert result.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_multiple_gaps(self):
+        result = Series([0.0, None, 2.0, None, None, 5.0]).interpolate()
+        assert result.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_ends_stay_none(self):
+        result = Series([None, 1.0, None, 3.0, None]).interpolate()
+        assert result.tolist() == [None, 1.0, 2.0, 3.0, None]
+
+    def test_all_none_unchanged(self):
+        assert Series([None, None]).interpolate().tolist() == [None, None]
+
+
+class TestAccessors:
+    def test_str_accessors(self):
+        assert Series(["Ab", None]).str_lower().tolist() == ["ab", None]
+        assert Series(["a-b"]).str_replace("-", "+").tolist() == ["a+b"]
+        assert Series(["x,y"]).str_split_part(",", 1).tolist() == ["y"]
+        assert Series(["hay"]).str_contains("a").tolist() == [True]
+
+    def test_dt_accessors(self):
+        s = Series([datetime.date(2021, 3, 4)])
+        assert s.dt_year().tolist() == [2021]
+        assert s.dt_month().tolist() == [3]
+        assert s.dt_day().tolist() == [4]
+
+    def test_parse_dates(self):
+        s = Series(["March 4, 2021", "2020-01-01"]).parse_dates()
+        assert s.tolist() == [datetime.date(2021, 3, 4), datetime.date(2020, 1, 1)]
+
+
+class TestReductions:
+    def test_reductions_skip_nulls(self):
+        s = Series([1.0, None, 3.0])
+        assert s.sum() == 4.0
+        assert s.mean() == 2.0
+        assert s.count() == 2
+        assert s.min() == 1.0
+        assert s.max() == 3.0
+
+    def test_empty_reductions_are_none(self):
+        s = Series([None, None])
+        assert s.sum() is None
+        assert s.mean() is None
+        assert s.median() is None
+
+    def test_median(self):
+        assert Series([3, 1, 2]).median() == 2
+        assert Series([4, 1, 2, 3]).median() == 2.5
+
+    def test_std(self):
+        assert Series([2.0, 4.0]).std() == pytest.approx(1.4142135, rel=1e-5)
+        assert Series([1.0]).std() is None
+
+    def test_unique_and_nunique(self):
+        s = Series([1, 1, 2, None, None])
+        assert s.unique() == [1, 2, None]
+        assert s.nunique() == 2

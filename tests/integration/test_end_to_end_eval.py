@@ -1,0 +1,57 @@
+"""End-to-end evaluation smoke tests at tiny scale.
+
+The benches run the full experiments; these tests pin the *shape* of each
+result on a reduced question set so regressions surface in `pytest tests/`.
+"""
+
+import pytest
+
+from repro.baselines import (
+    DSGuruRunner,
+    FTSSystem,
+    RAGSystem,
+    SeekerSystem,
+)
+from repro.datasets import load_archaeology
+from repro.eval import evaluate_accuracy, evaluate_convergence
+
+
+@pytest.fixture(scope="module")
+def arch():
+    dataset = load_archaeology(scale=0.03)
+    # One question per difficulty class keeps this fast but representative:
+    # arch-01 (both), arch-02 (seeker/interpolation), arch-07 (none).
+    keep = {"arch-01", "arch-02", "arch-07"}
+    dataset.questions = [q for q in dataset.questions if q.qid in keep]
+    return dataset
+
+
+class TestAccuracyShape:
+    def test_ordering(self, arch):
+        results = evaluate_accuracy(
+            arch,
+            {
+                "LlamaIndex": lambda q: RAGSystem(arch.lake).answer(q.text),
+                "DS-Guru(O3)": lambda q: DSGuruRunner(arch.lake).answer(q.text),
+                "Pneuma-Seeker": lambda q: SeekerSystem(arch.lake).answer(q.text),
+            },
+        )
+        by_name = {r.system: r for r in results}
+        assert by_name["Pneuma-Seeker"].correct == 2  # both + seeker classes
+        assert by_name["DS-Guru(O3)"].correct == 1  # both class only
+        assert by_name["LlamaIndex"].correct == 0
+
+
+class TestConvergenceShape:
+    def test_seeker_beats_static(self, arch):
+        results = evaluate_convergence(
+            arch,
+            {
+                "FTS": lambda: FTSSystem(arch.lake),
+                "Pneuma-Seeker": lambda: SeekerSystem(arch.lake),
+            },
+            max_turns=10,
+        )
+        by_name = {r.system: r for r in results}
+        assert by_name["Pneuma-Seeker"].converged > by_name["FTS"].converged
+        assert by_name["FTS"].median_turns == 10.0

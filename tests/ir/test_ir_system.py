@@ -1,0 +1,115 @@
+"""Unit tests for the IR System: dispatch, web search, knowledge DB."""
+
+import pytest
+
+from repro.documents import Document
+from repro.ir import DocumentDatabase, IRSystem, WebPage, WebSearch
+from repro.relational import Database, Table
+from repro.retriever import PneumaRetriever
+
+
+@pytest.fixture
+def lake():
+    db = Database("lake")
+    db.register(
+        Table.from_columns(
+            "purchase_orders",
+            {"country": ["Germany", "Japan"], "price": [100.0, 200.0]},
+        )
+    )
+    return db
+
+
+@pytest.fixture
+def web():
+    return WebSearch(
+        [
+            WebPage(
+                url="https://x/tariffs",
+                title="Tariff Schedule",
+                text="new import tariffs by country",
+                records=[{"country": "Germany", "new_tariff": 0.15}],
+            )
+        ]
+    )
+
+
+class TestWebSearch:
+    def test_search_returns_documents(self, web):
+        docs = web.search("import tariffs", k=1)
+        assert docs[0].kind == "web"
+        assert docs[0].payload["records"][0]["country"] == "Germany"
+
+    def test_add_page(self, web):
+        web.add_page(WebPage("https://x/other", "Rainfall", "daily rainfall data"))
+        assert len(web) == 2
+        docs = web.search("rainfall", k=1)
+        assert docs[0].title == "Rainfall"
+
+
+class TestDocumentDatabase:
+    def test_capture_and_search(self):
+        db = DocumentDatabase()
+        db.add("tariff impact must include direct and indirect tariffs", topic="tariffs")
+        docs = db.search("how do I analyze tariffs", k=1)
+        assert docs[0].kind == "knowledge"
+        assert "indirect" in docs[0].text
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentDatabase().add("   ")
+
+    def test_persistence_round_trip(self, tmp_path):
+        db = DocumentDatabase()
+        db.add("knowledge one", topic="a", author="u1")
+        db.add("knowledge two", topic="b")
+        path = tmp_path / "knowledge.json"
+        db.save(path)
+        loaded = DocumentDatabase.load(path)
+        assert len(loaded) == 2
+        assert loaded.search("knowledge one", k=1)[0].payload["author"] == "u1"
+
+
+class TestIRSystem:
+    def test_merges_sources(self, lake, web):
+        knowledge = DocumentDatabase()
+        knowledge.add("always compare against the previous tariff", topic="tariffs")
+        ir = IRSystem(retriever=PneumaRetriever(lake), web=web, knowledge=knowledge)
+        result = ir.retrieve("tariff impact on purchases by country")
+        assert result.tables()
+        assert result.web()
+        assert result.knowledge()
+        assert set(result.per_source) == {"tables", "web", "knowledge"}
+
+    def test_unregister_web(self, lake, web):
+        ir = IRSystem(retriever=PneumaRetriever(lake), web=web)
+        ir.unregister("web")
+        result = ir.retrieve("tariffs")
+        assert not result.web()
+        assert "web" not in result.per_source
+
+    def test_column_values(self, lake):
+        ir = IRSystem(retriever=PneumaRetriever(lake))
+        assert ir.column_values("purchase_orders", "country") == ["Germany", "Japan"]
+
+    def test_capture_knowledge_roundtrip(self, lake):
+        knowledge = DocumentDatabase()
+        ir = IRSystem(retriever=PneumaRetriever(lake), knowledge=knowledge)
+        ir.capture_knowledge("impact should be relative to previous tariffs", topic="tariffs")
+        assert len(knowledge) == 1
+
+    def test_custom_retriever_registration(self, lake):
+        ir = IRSystem(retriever=PneumaRetriever(lake))
+        ir.register("custom", lambda q, k: [Document("c:1", "web", "custom", q)])
+        result = ir.retrieve("hello")
+        assert any(d.doc_id == "c:1" for d in result.documents)
+
+
+class TestDocument:
+    def test_brief_truncates(self):
+        doc = Document("d", "table", "t", "word " * 100)
+        assert len(doc.brief(max_chars=50)) <= 62
+
+    def test_json_round_trip(self):
+        doc = Document("d", "web", "T", "text", payload={"a": 1}, score=0.5, source="s")
+        assert Document.from_json(doc.to_json()) == doc

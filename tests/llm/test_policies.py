@@ -1,0 +1,375 @@
+"""Unit tests for the role policies behind the RuleLLM."""
+
+import json
+
+import pytest
+
+from repro.llm.policies import (
+    ConductorPolicy,
+    DSGuruPolicy,
+    MaterializerPolicy,
+    RAGPolicy,
+    UserSimPolicy,
+)
+from repro.llm.prompts import parse_prompt, parse_response, render_prompt
+
+
+def sections_for(role, **kwargs):
+    prompt = render_prompt(role, kwargs)
+    _, sections = parse_prompt(prompt)
+    return sections
+
+
+TABLE_DOC = {
+    "doc_id": "table:samples",
+    "kind": "table",
+    "title": "samples",
+    "text": "table samples with potassium ppm region record date",
+    "payload": {
+        "name": "samples",
+        "columns": [
+            {"name": "region", "dtype": "TEXT"},
+            {"name": "record_date", "dtype": "DATE"},
+            {"name": "potassium_ppm", "dtype": "DOUBLE"},
+        ],
+        "num_rows": 100,
+        "samples": [{"region": "Malta", "record_date": "2020-01-01", "potassium_ppm": "10.0"}],
+    },
+}
+
+
+class TestConductorPolicy:
+    def test_retrieves_first(self):
+        policy = ConductorPolicy()
+        sections = sections_for(
+            "conductor", USER_MESSAGE="average potassium", INTENT="average potassium",
+            STATE={}, RETRIEVED=[], ACTIONS=[],
+        )
+        action = parse_response(policy.respond(sections))["action"]
+        assert action["kind"] == "retrieve"
+        assert "potassium" in action["query"]
+
+    def test_grounds_before_planning(self):
+        policy = ConductorPolicy()
+        sections = sections_for(
+            "conductor", USER_MESSAGE="average potassium for Malta",
+            INTENT="average potassium for Malta",
+            STATE={}, RETRIEVED=[TABLE_DOC], ACTIONS=["retrieve"], GROUNDED={},
+        )
+        action = parse_response(policy.respond(sections))["action"]
+        assert action["kind"] == "ground_values"
+        assert action["table"] == "samples"
+
+    def test_update_state_with_plan(self):
+        policy = ConductorPolicy()
+        sections = sections_for(
+            "conductor", USER_MESSAGE="average potassium for Malta",
+            INTENT="average potassium for Malta",
+            STATE={}, RETRIEVED=[TABLE_DOC],
+            ACTIONS=["retrieve", "ground_values"],
+            GROUNDED={"samples": {"region": ["Malta", "Gozo"]}},
+        )
+        action = parse_response(policy.respond(sections))["action"]
+        assert action["kind"] == "update_state"
+        assert action["plan"]["measure"] == "potassium_ppm"
+        assert action["plan"]["filters"] == [
+            {"column": "region", "op": "=", "value": "Malta"}
+        ]
+        assert "AVG(potassium_ppm)" in action["queries"][0]
+
+    def test_exploratory_state_without_aggregate(self):
+        policy = ConductorPolicy()
+        sections = sections_for(
+            "conductor", USER_MESSAGE="what variables do we have?",
+            INTENT="what variables do we have?",
+            STATE={}, RETRIEVED=[TABLE_DOC], ACTIONS=["retrieve"],
+        )
+        action = parse_response(policy.respond(sections))["action"]
+        assert action["kind"] == "update_state"
+        assert action["plan"] is None
+        assert action["queries"][0].startswith("SELECT *")
+
+    def test_materialize_when_pending(self):
+        policy = ConductorPolicy()
+        sections = sections_for(
+            "conductor", USER_MESSAGE="x", INTENT="x",
+            STATE={"T": [{"name": "samples_target", "columns": []}], "Q": [], "materialized": []},
+            RETRIEVED=[TABLE_DOC], ACTIONS=["retrieve", "update_state"],
+        )
+        action = parse_response(policy.respond(sections))["action"]
+        assert action["kind"] == "materialize"
+        assert action["table"] == "samples_target"
+
+    def test_execute_when_materialized(self):
+        policy = ConductorPolicy()
+        sections = sections_for(
+            "conductor", USER_MESSAGE="x", INTENT="x",
+            STATE={
+                "T": [{"name": "samples_target", "columns": []}],
+                "Q": ["SELECT 1"],
+                "materialized": ["samples_target"],
+            },
+            RETRIEVED=[TABLE_DOC], ACTIONS=["retrieve", "update_state", "materialize"],
+        )
+        action = parse_response(policy.respond(sections))["action"]
+        assert action["kind"] == "execute_sql"
+
+    def test_message_after_result(self):
+        policy = ConductorPolicy()
+        sections = sections_for(
+            "conductor", USER_MESSAGE="x", INTENT="x",
+            STATE={
+                "T": [{"name": "samples_target", "columns": [], "notes": "AVG"}],
+                "Q": ["SELECT 1"],
+                "materialized": ["samples_target"],
+            },
+            RETRIEVED=[TABLE_DOC],
+            ACTIONS=["retrieve", "update_state", "materialize", "execute_sql"],
+            LAST_RESULT={"value": 42},
+        )
+        action = parse_response(policy.respond(sections))["action"]
+        assert action["kind"] == "message_user"
+        assert "42" in action["message"]
+
+    def test_force_message(self):
+        policy = ConductorPolicy()
+        sections = sections_for(
+            "conductor", USER_MESSAGE="x", INTENT="x",
+            STATE={}, RETRIEVED=[], ACTIONS=[], FORCE_MESSAGE="true",
+        )
+        action = parse_response(policy.respond(sections))["action"]
+        assert action["kind"] == "message_user"
+
+    def test_no_tables_apologizes(self):
+        policy = ConductorPolicy()
+        sections = sections_for(
+            "conductor", USER_MESSAGE="x", INTENT="x",
+            STATE={}, RETRIEVED=[{"doc_id": "w", "kind": "web", "title": "t", "text": "", "payload": {}}],
+            ACTIONS=["retrieve"],
+        )
+        action = parse_response(policy.respond(sections))["action"]
+        assert action["kind"] == "message_user"
+        assert "could not find" in action["message"].lower()
+
+
+class TestMaterializerPolicy:
+    def _spec(self):
+        return {
+            "name": "samples_target",
+            "columns": [{"name": "potassium_ppm", "dtype": "DOUBLE"}],
+            "base_tables": ["samples"],
+            "integration": {},
+        }
+
+    def test_generates_load_select_result(self):
+        policy = MaterializerPolicy()
+        sections = sections_for(
+            "materializer", TARGET=self._spec(), PLAN={}, DOCS=[TABLE_DOC], ATTEMPT="1",
+        )
+        program = parse_response(policy.respond(sections))["program"]
+        ops = [p["op"] for p in program]
+        assert ops[0] == "load"
+        assert ops[-1] == "result"
+        assert "select" in ops
+
+    def test_join_integration(self):
+        spec = self._spec()
+        spec["base_tables"] = ["samples", "sites"]
+        spec["integration"] = {"join": {"table": "sites", "left_on": "site_id", "right_on": "site_id"}}
+        policy = MaterializerPolicy()
+        sections = sections_for("materializer", TARGET=spec, PLAN={}, DOCS=[TABLE_DOC])
+        program = parse_response(policy.respond(sections))["program"]
+        assert any(p["op"] == "join" for p in program)
+
+    def test_interpolation_ops(self):
+        spec = self._spec()
+        spec["integration"] = {"interpolate": {"column": "potassium_ppm", "order_by": "record_date"}}
+        plan = {
+            "table": "samples", "aggregate": "avg", "measure": "potassium_ppm",
+            "filters": [{"column": "region", "value": "Malta", "op": "="}],
+            "order_column": "record_date", "interpolate": True, "first_last": True,
+        }
+        policy = MaterializerPolicy()
+        sections = sections_for("materializer", TARGET=spec, PLAN=plan, DOCS=[TABLE_DOC])
+        program = parse_response(policy.respond(sections))["program"]
+        ops = [p["op"] for p in program]
+        assert "filter_equals" in ops
+        assert "interpolate" in ops
+        # Filter must precede interpolation (values interpolate within scope).
+        assert ops.index("filter_equals") < ops.index("interpolate")
+
+    def test_repair_drops_failing_select(self):
+        policy = MaterializerPolicy()
+        previous = [
+            {"op": "load", "table": "samples", "as": "main"},
+            {"op": "select", "frame": "main", "columns": ["ghost"]},
+            {"op": "result", "frame": "main", "name": "samples_target"},
+        ]
+        sections = sections_for(
+            "materializer", TARGET=self._spec(), PLAN={}, DOCS=[TABLE_DOC],
+            ERROR="step 1 (select): columns not found: ['ghost']",
+            PREVIOUS_PROGRAM=previous,
+        )
+        program = parse_response(policy.respond(sections))["program"]
+        assert [p["op"] for p in program] == ["load", "result"]
+
+    def test_repair_falls_back_to_skeleton(self):
+        policy = MaterializerPolicy()
+        previous = [
+            {"op": "load", "table": "samples", "as": "main"},
+            {"op": "result", "frame": "main", "name": "samples_target"},
+        ]
+        sections = sections_for(
+            "materializer", TARGET=self._spec(), PLAN={}, DOCS=[TABLE_DOC],
+            ERROR="something inexplicable happened",
+            PREVIOUS_PROGRAM=previous,
+        )
+        program = parse_response(policy.respond(sections))["program"]
+        assert [p["op"] for p in program] == ["load", "result"]
+
+
+class TestRAGPolicy:
+    def test_interprets_tables(self):
+        policy = RAGPolicy()
+        sections = sections_for(
+            "rag", QUESTION="average potassium in malta", CONTEXT=[TABLE_DOC]
+        )
+        answer = parse_response(policy.respond(sections))["answer"]
+        assert "samples" in answer
+        assert "potassium_ppm" in answer
+
+    def test_never_returns_value(self):
+        policy = RAGPolicy()
+        sections = sections_for(
+            "rag", QUESTION="what is the average potassium", CONTEXT=[TABLE_DOC]
+        )
+        payload = parse_response(policy.respond(sections))
+        assert set(payload) == {"answer"}
+
+    def test_echoes_interpolation_need(self):
+        policy = RAGPolicy()
+        sections = sections_for(
+            "rag",
+            QUESTION="average potassium linearly interpolated between samples",
+            CONTEXT=[TABLE_DOC],
+        )
+        answer = parse_response(policy.respond(sections))["answer"]
+        assert "interpolated" in answer
+
+    def test_empty_context(self):
+        policy = RAGPolicy()
+        sections = sections_for("rag", QUESTION="anything", CONTEXT=[])
+        answer = parse_response(policy.respond(sections))["answer"]
+        assert "nothing relevant" in answer
+
+
+class TestDSGuruPolicy:
+    def test_plan_and_program(self):
+        policy = DSGuruPolicy()
+        sections = sections_for(
+            "ds_guru",
+            QUESTION="What is the average potassium_ppm?",
+            SCHEMAS=[TABLE_DOC["payload"]],
+        )
+        payload = parse_response(policy.respond(sections))
+        assert payload["plan"]["aggregate"] == "avg"
+        assert payload["program"][0]["op"] == "load"
+        assert "AVG(potassium_ppm)" in payload["sql"]
+        assert payload["subtasks"]
+
+    def test_no_interpolation_capability(self):
+        policy = DSGuruPolicy()
+        sections = sections_for(
+            "ds_guru",
+            QUESTION="Average potassium_ppm linearly interpolated between samples",
+            SCHEMAS=[TABLE_DOC["payload"]],
+        )
+        payload = parse_response(policy.respond(sections))
+        assert payload["plan"]["interpolate"] is False
+        assert not any(p["op"] == "interpolate" for p in payload["program"])
+
+    def test_unplannable_question(self):
+        policy = DSGuruPolicy()
+        sections = sections_for(
+            "ds_guru", QUESTION="tell me about the weather", SCHEMAS=[],
+        )
+        payload = parse_response(policy.respond(sections))
+        assert payload["plan"] is None
+        assert payload["program"] is None
+
+
+class TestUserSimPolicy:
+    CONCEPTS = [
+        {"token": "field samples", "kind": "seed"},
+        {"token": "potassium", "kind": "column"},
+        {"token": "linearly interpolated", "kind": "operation"},
+    ]
+
+    def _respond(self, conversation, system_kind="seeker"):
+        policy = UserSimPolicy()
+        sections = sections_for(
+            "user_sim",
+            GOAL="What is the average potassium, linearly interpolated?",
+            SYSTEM_KIND=system_kind,
+            TOPIC="soil chemistry",
+            CONCEPTS=self.CONCEPTS,
+            CONVERSATION=conversation,
+        )
+        return parse_response(policy.respond(sections))
+
+    def test_opening_is_broad(self):
+        payload = self._respond([])
+        assert not payload["converged"]
+        assert "overview" in payload["message"].lower()
+        # The opener must not leak unsurfaced concepts.
+        assert "interpolated" not in payload["message"].lower()
+
+    def test_articulates_surfaced_column(self):
+        conversation = [
+            {"speaker": "you", "text": "overview of field samples please"},
+            {"speaker": "system", "text": "samples has variables potassium_ppm, region"},
+        ]
+        payload = self._respond(conversation)
+        assert "potassium" in payload["message"].lower()
+
+    def test_operation_gated_on_measure_surfacing(self):
+        conversation = [
+            {"speaker": "you", "text": "overview of field samples"},
+            {"speaker": "system", "text": "I found tables about weather only"},
+        ]
+        payload = self._respond(conversation)
+        assert "interpolated" not in payload["message"].lower()
+
+    def test_converges_when_addressed(self):
+        conversation = [
+            {"speaker": "you", "text": "field samples potassium linearly interpolated please"},
+            {
+                "speaker": "system",
+                "text": "field samples potassium_ppm linearly interpolated answer = 21.5",
+            },
+        ]
+        payload = self._respond(conversation)
+        assert payload["converged"] is True
+
+    def test_static_never_converges_on_operations(self):
+        conversation = [
+            {"speaker": "you", "text": "field samples potassium linearly interpolated"},
+            {
+                "speaker": "system",
+                "text": "table field_samples columns potassium_ppm linearly interpolated",
+            },
+        ]
+        payload = self._respond(conversation, system_kind="static")
+        assert payload["converged"] is False
+
+    def test_corrective_feedback_names_missing_concepts(self):
+        goal = "What is the average potassium, linearly interpolated?"
+        conversation = [
+            {"speaker": "you", "text": "field samples potassium linearly interpolated"},
+            {"speaker": "system", "text": "field samples potassium linearly interpolated no result yet"},
+            {"speaker": "you", "text": goal},
+            {"speaker": "system", "text": "the answer = 5 for field samples potassium only"},
+        ]
+        payload = self._respond(conversation)
+        assert not payload["converged"]
+        assert "interpolated" in payload["message"]

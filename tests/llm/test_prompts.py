@@ -1,0 +1,60 @@
+"""Unit tests for the structured prompt protocol."""
+
+import pytest
+
+from repro.llm import (
+    PromptFormatError,
+    parse_prompt,
+    parse_response,
+    render_prompt,
+    render_response,
+    section_json,
+)
+
+
+class TestRenderParse:
+    def test_round_trip(self):
+        prompt = render_prompt("conductor", {"USER_MESSAGE": "hi", "STATE": {"Q": []}})
+        role, sections = parse_prompt(prompt)
+        assert role == "conductor"
+        assert sections["USER_MESSAGE"] == "hi"
+        assert section_json(sections, "STATE") == {"Q": []}
+
+    def test_multiline_section(self):
+        prompt = render_prompt("rag", {"CONTEXT": "line1\nline2"})
+        _, sections = parse_prompt(prompt)
+        assert sections["CONTEXT"] == "line1\nline2"
+
+    def test_json_sections_are_deterministic(self):
+        a = render_prompt("x", {"DATA": {"b": 1, "a": 2}})
+        b = render_prompt("x", {"DATA": {"a": 2, "b": 1}})
+        assert a == b
+
+    def test_role_reserved(self):
+        with pytest.raises(PromptFormatError):
+            render_prompt("x", {"ROLE": "y"})
+
+    def test_bad_role(self):
+        with pytest.raises(PromptFormatError):
+            render_prompt("bad\nrole", {})
+
+    def test_missing_role_on_parse(self):
+        with pytest.raises(PromptFormatError):
+            parse_prompt("no sections here")
+
+    def test_section_json_default(self):
+        assert section_json({}, "MISSING", default=[]) == []
+
+    def test_section_json_invalid(self):
+        with pytest.raises(PromptFormatError):
+            section_json({"X": "{not json"}, "X")
+
+
+class TestResponses:
+    def test_round_trip(self):
+        text = render_response({"action": {"kind": "retrieve"}})
+        assert parse_response(text) == {"action": {"kind": "retrieve"}}
+
+    def test_malformed_raises(self):
+        with pytest.raises(PromptFormatError):
+            parse_response("not json at all")

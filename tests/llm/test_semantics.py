@@ -1,0 +1,211 @@
+"""Unit tests for NL-understanding utilities and query synthesis."""
+
+import pytest
+
+from repro.llm.semantics import (
+    FilterSpec,
+    QueryPlan,
+    SchemaView,
+    best_measure_column,
+    candidate_join_keys,
+    detect_aggregate,
+    detect_round_digits,
+    extract_years,
+    ground_filters,
+    is_id_like,
+    plan_to_sql,
+    wants_first_last,
+    wants_interpolation,
+)
+
+
+def make_schema(name, columns, samples=()):
+    return SchemaView.from_payload(
+        {"name": name, "columns": [{"name": c, "dtype": t} for c, t in columns], "samples": list(samples)}
+    )
+
+
+class TestDetectors:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("What is the average potassium?", "avg"),
+            ("total spend on equipment", "sum"),
+            ("How many artifacts are there?", "count"),
+            ("the highest calibrated year", "max"),
+            ("lowest minimum temperature", "min"),
+            ("median turbidity of samples", "median"),
+            ("standard deviation of cost", "stddev"),
+            ("correlation between pm25 and humidity", "corr"),
+            ("show me the tables", None),
+        ],
+    )
+    def test_detect_aggregate(self, text, expected):
+        assert detect_aggregate(text) == expected
+
+    def test_first_cue_wins(self):
+        # "average ... highest" — avg appears first.
+        assert detect_aggregate("average of the highest readings") == "avg"
+
+    def test_round_digits(self):
+        assert detect_round_digits("Round your answer to 4 decimal places.") == 4
+        assert detect_round_digits("rounded to 2 decimal places") == 2
+        assert detect_round_digits("no rounding at all") is None
+
+    def test_interpolation_and_first_last(self):
+        text = "Assume potassium is linearly interpolated between samples, first and last"
+        assert wants_interpolation(text)
+        assert wants_first_last(text)
+        assert not wants_interpolation("plain average")
+
+    def test_extract_years(self):
+        assert extract_years("between 2015 and 2020") == [2015, 2020]
+        assert extract_years("sample 12345 code 1776") == []
+
+    def test_is_id_like(self):
+        assert is_id_like("site_id")
+        assert is_id_like("ID")
+        assert not is_id_like("acidity")
+
+
+class TestMeasureSelection:
+    def test_matching_column_wins(self):
+        schema = make_schema(
+            "samples",
+            [("potassium_ppm", "DOUBLE"), ("sodium_ppm", "DOUBLE"), ("sample_id", "INTEGER")],
+        )
+        col = best_measure_column("average potassium in ppm", schema)
+        assert col.name == "potassium_ppm"
+
+    def test_id_columns_excluded(self):
+        schema = make_schema("t", [("station_id", "INTEGER")])
+        assert best_measure_column("average station reading", schema) is None
+
+    def test_no_match_returns_none(self):
+        schema = make_schema("t", [("mass_grams", "DOUBLE")])
+        assert best_measure_column("what about the weather", schema) is None
+
+
+class TestGroundFilters:
+    def test_full_value_mention_matches(self):
+        schema = make_schema(
+            "artifacts",
+            [("material", "TEXT"), ("mass", "DOUBLE")],
+            samples=[{"material": "Bronze", "mass": 1.0}],
+        )
+        filters = ground_filters("how many are made of bronze", schema)
+        assert [(f.column, f.value) for f in filters] == [("material", "Bronze")]
+
+    def test_partial_mention_rejected(self):
+        schema = make_schema(
+            "artifacts",
+            [("museum", "TEXT")],
+            samples=[{"museum": "Regional Collection"}],
+        )
+        # Only 'collection' appears in the question: no filter.
+        assert ground_filters("artifacts in the collection", schema) == []
+
+    def test_known_values_extend_samples(self):
+        schema = make_schema(
+            "artifacts",
+            [("period", "TEXT")],
+            samples=[{"period": "Roman"}],
+        )
+        no_grounding = ground_filters("artifacts from the Hellenistic period", schema)
+        assert no_grounding == []
+        grounded = ground_filters(
+            "artifacts from the Hellenistic period",
+            schema,
+            known_values={"period": ["Roman", "Hellenistic"]},
+        )
+        assert [(f.column, f.value) for f in grounded] == [("period", "Hellenistic")]
+
+    def test_year_filter_on_date_column(self):
+        schema = make_schema("log", [("log_date", "DATE"), ("cost", "DOUBLE")])
+        filters = ground_filters("costs in 2019", schema)
+        assert [(f.column, f.value, f.op) for f in filters] == [("log_date", 2019, "year")]
+
+    def test_excluded_columns_skipped(self):
+        schema = make_schema(
+            "t", [("label", "TEXT")], samples=[{"label": "gold"}]
+        )
+        assert ground_filters("gold stuff", schema, exclude_columns=["label"]) == []
+
+
+class TestJoinKeys:
+    def test_exact_id_match_preferred(self):
+        left = make_schema(
+            "samples",
+            [("site_id", "INTEGER"), ("region", "TEXT")],
+            samples=[{"site_id": 1, "region": "North"}],
+        )
+        right = make_schema(
+            "sites",
+            [("site_id", "INTEGER"), ("region", "TEXT")],
+            samples=[{"site_id": 1, "region": "North"}],
+        )
+        keys = candidate_join_keys(left, right)
+        assert keys[0] == ("site_id", "site_id")
+
+    def test_no_candidates(self):
+        left = make_schema("a", [("x", "INTEGER")])
+        right = make_schema("b", [("y", "INTEGER")])
+        assert candidate_join_keys(left, right) == []
+
+
+class TestPlanToSQL:
+    def test_simple_avg(self):
+        plan = QueryPlan(table="t", aggregate="avg", measure="x")
+        assert plan_to_sql(plan) == "SELECT AVG(x) AS answer FROM t"
+
+    def test_count_star(self):
+        plan = QueryPlan(table="t", aggregate="count", measure=None)
+        assert plan_to_sql(plan) == "SELECT COUNT(*) AS answer FROM t"
+
+    def test_filters_and_round(self):
+        plan = QueryPlan(
+            table="t",
+            aggregate="avg",
+            measure="x",
+            filters=[FilterSpec("region", "Malta")],
+            round_digits=4,
+        )
+        sql = plan_to_sql(plan, "t_target")
+        assert "ROUND(AVG(x), 4)" in sql
+        assert "region = 'Malta'" in sql
+        assert "FROM t_target" in sql
+
+    def test_first_last_subqueries(self):
+        plan = QueryPlan(
+            table="t", aggregate="avg", measure="x",
+            order_column="d", first_last=True,
+        )
+        sql = plan_to_sql(plan)
+        assert "SELECT MIN(d) FROM t" in sql
+        assert "SELECT MAX(d) FROM t" in sql
+
+    def test_corr(self):
+        plan = QueryPlan(table="t", aggregate="corr", measure="a", second_measure="b")
+        assert "CORR(a, b)" in plan_to_sql(plan)
+
+    def test_measure_expr_overrides(self):
+        plan = QueryPlan(
+            table="t", aggregate="avg", measure="price",
+            measure_expr="price * (1 + new_tariff - previous_tariff)",
+        )
+        assert "AVG(price * (1 + new_tariff - previous_tariff))" in plan_to_sql(plan)
+
+    def test_sql_escaping(self):
+        plan = QueryPlan(
+            table="t", aggregate="count", measure=None,
+            filters=[FilterSpec("name", "O'Brien")],
+        )
+        assert "O''Brien" in plan_to_sql(plan)
+
+    def test_year_filter_sql(self):
+        spec = FilterSpec("log_date", 2019, "year")
+        assert spec.to_sql() == "YEAR(log_date) = 2019"
+
+    def test_contains_filter_sql(self):
+        spec = FilterSpec("region", "Malta", "contains")
+        assert spec.to_sql() == "LOWER(region) LIKE '%malta%'"

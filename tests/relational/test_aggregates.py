@@ -1,0 +1,101 @@
+"""Unit tests for aggregate functions (via SQL evaluation)."""
+
+import math
+
+import pytest
+
+from repro.relational import Database, Table
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.register(
+        Table.from_columns(
+            "t",
+            {
+                "x": [4.0, 2.0, None, 8.0, 6.0],
+                "y": [1.0, 2.0, 3.0, 4.0, 5.0],
+                "label": ["a", "b", "c", "d", "e"],
+            },
+        )
+    )
+    return database
+
+
+class TestBasicAggregates:
+    def test_sum_skips_nulls(self, db):
+        assert db.query_value("SELECT SUM(x) FROM t") == 20.0
+
+    def test_avg_skips_nulls(self, db):
+        assert db.query_value("SELECT AVG(x) FROM t") == 5.0
+
+    def test_count_variants(self, db):
+        assert db.query_value("SELECT COUNT(*) FROM t") == 5
+        assert db.query_value("SELECT COUNT(x) FROM t") == 4
+
+    def test_min_max(self, db):
+        assert db.query_value("SELECT MIN(x) FROM t") == 2.0
+        assert db.query_value("SELECT MAX(x) FROM t") == 8.0
+
+    def test_empty_input(self, db):
+        assert db.query_value("SELECT SUM(x) FROM t WHERE x > 100") is None
+        assert db.query_value("SELECT AVG(x) FROM t WHERE x > 100") is None
+        assert db.query_value("SELECT COUNT(*) FROM t WHERE x > 100") == 0
+
+
+class TestStatisticalAggregates:
+    def test_median_odd_even(self, db):
+        assert db.query_value("SELECT MEDIAN(x) FROM t") == 5.0  # 2,4,6,8 -> 5
+        assert db.query_value("SELECT MEDIAN(y) FROM t") == 3.0
+
+    def test_stddev_matches_formula(self, db):
+        values = [4.0, 2.0, 8.0, 6.0]
+        mean = sum(values) / len(values)
+        expected = math.sqrt(sum((v - mean) ** 2 for v in values) / (len(values) - 1))
+        assert db.query_value("SELECT STDDEV(x) FROM t") == pytest.approx(expected)
+
+    def test_stddev_single_value_is_null(self, db):
+        assert db.query_value("SELECT STDDEV(x) FROM t WHERE x = 2") is None
+
+    def test_var_pop_vs_samp(self, db):
+        pop = db.query_value("SELECT VAR_POP(y) FROM t")
+        samp = db.query_value("SELECT VAR_SAMP(y) FROM t")
+        assert samp > pop
+
+    def test_quantile(self, db):
+        assert db.query_value("SELECT QUANTILE(y, 0.5) FROM t") == 3.0
+        assert db.query_value("SELECT QUANTILE(y, 0.0) FROM t") == 1.0
+        assert db.query_value("SELECT QUANTILE(y, 1.0) FROM t") == 5.0
+
+    def test_corr_perfect(self, db):
+        assert db.query_value("SELECT CORR(y, y) FROM t") == pytest.approx(1.0)
+
+
+class TestPositionalAggregates:
+    def test_first_last(self, db):
+        assert db.query_value("SELECT FIRST(label) FROM t") == "a"
+        assert db.query_value("SELECT LAST(label) FROM t") == "e"
+
+    def test_arg_min_arg_max(self, db):
+        assert db.query_value("SELECT ARG_MIN(label, x) FROM t") == "b"
+        assert db.query_value("SELECT ARG_MAX(label, x) FROM t") == "d"
+
+    def test_arg_max_ignores_null_keys(self, db):
+        # The row with x NULL (label 'c') can never win.
+        assert db.query_value("SELECT ARG_MAX(label, x) FROM t") != "c"
+
+
+class TestOtherAggregates:
+    def test_string_agg(self, db):
+        assert db.query_value("SELECT STRING_AGG(label, '-') FROM t") == "a-b-c-d-e"
+
+    def test_bool_and_or(self, db):
+        assert db.query_value("SELECT BOOL_AND(x > 1) FROM t") is True
+        assert db.query_value("SELECT BOOL_OR(x > 7) FROM t") is True
+        assert db.query_value("SELECT BOOL_AND(x > 3) FROM t") is False
+
+    def test_sum_distinct(self, db):
+        db.register(Table.from_columns("d", {"v": [1, 1, 2, 2, 3]}))
+        assert db.query_value("SELECT SUM(DISTINCT v) FROM d") == 6
+        assert db.query_value("SELECT COUNT(DISTINCT v) FROM d") == 3

@@ -1,0 +1,145 @@
+"""Edge-case coverage for the relational engine: queries the Seeker's
+planner and Materializer actually generate, stressed in combination."""
+
+import datetime
+
+import pytest
+
+from repro.relational import Database, Table
+from repro.relational.errors import BindError, ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.register(
+        Table.from_columns(
+            "events",
+            {
+                "name": ["a", "b", "c", "d"],
+                "day": [datetime.date(2020, 1, 1), datetime.date(2020, 6, 1),
+                        datetime.date(2021, 1, 1), datetime.date(2021, 6, 1)],
+                "value": [1.0, 2.0, 3.0, 4.0],
+            },
+        )
+    )
+    return database
+
+
+class TestPlannerShapedQueries:
+    def test_first_last_subquery_pattern(self, db):
+        """The exact WHERE shape plan_to_sql emits for first/last questions."""
+        value = db.query_value(
+            "SELECT AVG(value) AS answer FROM events WHERE "
+            "(day = (SELECT MIN(day) FROM events) OR day = (SELECT MAX(day) FROM events))"
+        )
+        assert value == 2.5
+
+    def test_round_wrapped_aggregate(self, db):
+        assert db.query_value("SELECT ROUND(AVG(value), 1) FROM events") == 2.5
+
+    def test_year_filter(self, db):
+        assert db.query_value(
+            "SELECT COUNT(*) FROM events WHERE YEAR(day) = 2020"
+        ) == 2
+
+    def test_derived_measure_expression(self, db):
+        value = db.query_value("SELECT AVG(value * (1 + 0.15 - 0.05)) FROM events")
+        assert value == pytest.approx(2.75)
+
+    def test_lower_like_filter(self, db):
+        assert db.query_value(
+            "SELECT COUNT(*) FROM events WHERE LOWER(name) LIKE '%a%'"
+        ) == 1
+
+    def test_corr_query(self, db):
+        assert db.query_value("SELECT CORR(value, value) FROM events") == pytest.approx(1.0)
+
+
+class TestComposition:
+    def test_nested_ctes(self, db):
+        value = db.query_value(
+            "WITH early AS (SELECT * FROM events WHERE YEAR(day) = 2020), "
+            "big AS (SELECT * FROM early WHERE value > 1) "
+            "SELECT SUM(value) FROM big"
+        )
+        assert value == 2.0
+
+    def test_self_join(self, db):
+        result = db.execute(
+            "SELECT a.name, b.name FROM events a JOIN events b "
+            "ON a.value = b.value - 1 ORDER BY a.name"
+        )
+        assert result.num_rows == 3
+
+    def test_subquery_of_subquery(self, db):
+        value = db.query_value(
+            "SELECT COUNT(*) FROM (SELECT * FROM (SELECT value FROM events) x "
+            "WHERE value > 1) y"
+        )
+        assert value == 3
+
+    def test_union_of_aggregates(self, db):
+        result = db.execute(
+            "SELECT MIN(value) FROM events UNION ALL SELECT MAX(value) FROM events"
+        )
+        assert sorted(r[0] for r in result.rows) == [1.0, 4.0]
+
+    def test_aggregate_of_case(self, db):
+        value = db.query_value(
+            "SELECT SUM(CASE WHEN YEAR(day) = 2020 THEN value ELSE 0 END) FROM events"
+        )
+        assert value == 3.0
+
+    def test_case_of_aggregate(self, db):
+        value = db.query_value(
+            "SELECT CASE WHEN AVG(value) > 2 THEN 'high' ELSE 'low' END FROM events"
+        )
+        assert value == "high"
+
+    def test_group_by_date_part(self, db):
+        result = db.execute(
+            "SELECT YEAR(day) AS y, SUM(value) AS s FROM events GROUP BY YEAR(day) "
+            "ORDER BY y"
+        )
+        assert result.to_dicts() == [{"y": 2020, "s": 3.0}, {"y": 2021, "s": 7.0}]
+
+
+class TestIdentifierHandling:
+    def test_case_insensitive_table_and_column(self, db):
+        assert db.query_value("SELECT SUM(VALUE) FROM EVENTS") == 10.0
+
+    def test_quoted_identifier_preserves_case(self):
+        database = Database()
+        database.register(Table.from_columns("t", {"Mixed Case": [1, 2]}))
+        assert database.query_value('SELECT SUM("Mixed Case") FROM t') == 3
+
+    def test_keyword_like_column_names(self):
+        # 'first' and 'last' are soft keywords usable as identifiers.
+        database = Database()
+        database.register(Table.from_columns("t", {"first": [1], "last": [2]}))
+        assert database.query_value("SELECT first + last FROM t") == 3
+
+
+class TestEmptyInputs:
+    def test_empty_table_operations(self):
+        database = Database()
+        database.register(Table.from_columns("empty", {"x": []}))
+        assert database.query_value("SELECT COUNT(*) FROM empty") == 0
+        assert database.query_value("SELECT SUM(x) FROM empty") is None
+        assert database.execute("SELECT * FROM empty ORDER BY x LIMIT 5").num_rows == 0
+
+    def test_join_with_empty_side(self):
+        database = Database()
+        database.register(Table.from_columns("a", {"k": [1, 2]}))
+        database.register(Table.from_columns("empty", {"k": []}))
+        assert database.query_value("SELECT COUNT(*) FROM a JOIN empty ON a.k = empty.k") == 0
+        assert database.query_value(
+            "SELECT COUNT(*) FROM a LEFT JOIN empty ON a.k = empty.k"
+        ) == 2
+
+    def test_group_by_on_empty(self):
+        database = Database()
+        database.register(Table.from_columns("empty", {"g": [], "x": []}))
+        result = database.execute("SELECT g, SUM(x) FROM empty GROUP BY g")
+        assert result.num_rows == 0

@@ -1,0 +1,147 @@
+"""Property-based tests for relational-engine invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import Database, Table
+
+# Small value domains keep example tables interpretable while still hitting
+# NULLs, duplicates, and negative numbers.
+values = st.one_of(st.none(), st.integers(min_value=-5, max_value=5))
+columns = st.lists(values, min_size=0, max_size=12)
+
+
+def make_db(xs, ys=None):
+    db = Database()
+    data = {"x": xs}
+    if ys is not None:
+        data["y"] = ys[: len(xs)] + [None] * max(0, len(xs) - len(ys))
+    db.register(Table.from_columns("t", data))
+    return db
+
+
+@given(columns)
+def test_filter_partition(xs):
+    """WHERE p, WHERE NOT p, and WHERE p IS NULL partition the rows."""
+    db = make_db(xs)
+    n = db.query_value("SELECT COUNT(*) FROM t")
+    true_n = db.query_value("SELECT COUNT(*) FROM t WHERE x > 0")
+    false_n = db.query_value("SELECT COUNT(*) FROM t WHERE NOT (x > 0)")
+    null_n = db.query_value("SELECT COUNT(*) FROM t WHERE x IS NULL")
+    assert true_n + false_n + null_n == n
+
+
+@given(columns)
+def test_sum_equals_python_sum(xs):
+    db = make_db(xs)
+    expected = sum(v for v in xs if v is not None) if any(v is not None for v in xs) else None
+    assert db.query_value("SELECT SUM(x) FROM t") == expected
+
+
+@given(columns)
+def test_distinct_union_self_is_identity(xs):
+    db = make_db(xs)
+    base = db.execute("SELECT DISTINCT x FROM t ORDER BY x")
+    union = db.execute("SELECT x FROM t UNION SELECT x FROM t ORDER BY x")
+    assert base.rows == union.rows
+
+
+@given(columns)
+def test_order_by_is_sorted_with_nulls_last(xs):
+    db = make_db(xs)
+    result = db.execute("SELECT x FROM t ORDER BY x").column_values("x")
+    non_null = [v for v in result if v is not None]
+    assert non_null == sorted(non_null)
+    if None in result:
+        first_null = result.index(None)
+        assert all(v is None for v in result[first_null:])
+
+
+@given(columns)
+def test_limit_is_prefix(xs):
+    db = make_db(xs)
+    full = db.execute("SELECT x FROM t ORDER BY x").column_values("x")
+    limited = db.execute("SELECT x FROM t ORDER BY x LIMIT 3").column_values("x")
+    assert limited == full[:3]
+
+
+@given(columns, columns)
+def test_join_commutativity_on_counts(xs, ys):
+    """Inner equi-join cardinality is symmetric."""
+    db = Database()
+    db.register(Table.from_columns("a", {"x": xs}))
+    db.register(Table.from_columns("b", {"y": ys}))
+    ab = db.query_value("SELECT COUNT(*) FROM a JOIN b ON a.x = b.y")
+    ba = db.query_value("SELECT COUNT(*) FROM b JOIN a ON b.y = a.x")
+    assert ab == ba
+
+
+@given(columns)
+def test_left_join_preserves_left_rows(xs):
+    """A LEFT JOIN on a unique right side never loses left rows."""
+    db = Database()
+    db.register(Table.from_columns("a", {"x": xs}))
+    db.register(Table.from_columns("b", {"y": sorted({v for v in xs if v is not None})}))
+    n = db.query_value("SELECT COUNT(*) FROM a")
+    joined = db.query_value("SELECT COUNT(*) FROM a LEFT JOIN b ON a.x = b.y")
+    assert joined == n
+
+
+@given(columns)
+def test_group_by_counts_sum_to_total(xs):
+    db = make_db(xs)
+    result = db.execute("SELECT x, COUNT(*) AS n FROM t GROUP BY x")
+    assert sum(result.column_values("n")) == len(xs)
+
+
+@given(columns)
+def test_having_subset_of_groups(xs):
+    db = make_db(xs)
+    all_groups = db.execute("SELECT x FROM t GROUP BY x").num_rows
+    filtered = db.execute("SELECT x FROM t GROUP BY x HAVING COUNT(*) > 1").num_rows
+    assert filtered <= all_groups
+
+
+@given(columns)
+def test_where_pushdown_through_subquery(xs):
+    """Filtering outside a subquery equals filtering inside it."""
+    db = make_db(xs)
+    outer = db.execute("SELECT x FROM (SELECT x FROM t) s WHERE x > 0 ORDER BY x")
+    inner = db.execute("SELECT x FROM (SELECT x FROM t WHERE x > 0) s ORDER BY x")
+    assert outer.rows == inner.rows
+
+
+@given(columns)
+def test_except_intersect_partition(xs):
+    """EXCEPT and INTERSECT partition DISTINCT rows of the left side."""
+    db = Database()
+    half = xs[: len(xs) // 2]
+    db.register(Table.from_columns("a", {"x": xs}))
+    db.register(Table.from_columns("b", {"x": half}))
+    distinct = db.execute("SELECT DISTINCT x FROM a").num_rows
+    minus = db.execute("SELECT x FROM a EXCEPT SELECT x FROM b").num_rows
+    common = db.execute("SELECT x FROM a INTERSECT SELECT x FROM b").num_rows
+    assert minus + common == distinct
+
+
+@given(st.lists(st.integers(min_value=-3, max_value=3), min_size=1, max_size=10))
+def test_avg_between_min_and_max(xs):
+    db = make_db(xs)
+    avg = db.query_value("SELECT AVG(x) FROM t")
+    lo = db.query_value("SELECT MIN(x) FROM t")
+    hi = db.query_value("SELECT MAX(x) FROM t")
+    assert lo <= avg <= hi
+
+
+@given(st.text(alphabet="ab_%", max_size=6), st.text(alphabet="ab", max_size=6))
+def test_like_matches_python_semantics(pattern, text):
+    """LIKE agrees with a reference implementation of %/_ wildcards."""
+    import re
+
+    db = Database()
+    db.register(Table.from_columns("t", {"s": [text]}))
+    regex = "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$"
+    expected = bool(re.match(regex, text, re.DOTALL))
+    escaped = pattern.replace("'", "''")
+    got = db.query_value(f"SELECT s LIKE '{escaped}' FROM t")
+    assert got == expected

@@ -1,0 +1,48 @@
+"""Tests that rendered SQL is faithful: re-parsing and re-executing the
+rendering of a query produces the same result table."""
+
+import pytest
+
+from repro.relational import Database, Table, parse, select_to_sql
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.register(
+        Table.from_columns(
+            "t",
+            {
+                "g": ["a", "a", "b", None],
+                "x": [1, 2, 3, 4],
+                "y": [10.0, None, 30.0, 40.0],
+            },
+        )
+    )
+    database.register(Table.from_columns("u", {"g": ["a", "b"], "label": ["A", "B"]}))
+    return database
+
+
+QUERIES = [
+    "SELECT * FROM t",
+    "SELECT g, SUM(x) AS total FROM t GROUP BY g HAVING SUM(x) > 1 ORDER BY g",
+    "SELECT t.x, u.label FROM t JOIN u ON t.g = u.g WHERE t.x < 3",
+    "SELECT DISTINCT g FROM t WHERE x BETWEEN 1 AND 3 ORDER BY g",
+    "SELECT CASE WHEN x % 2 = 0 THEN 'even' ELSE 'odd' END AS parity FROM t ORDER BY x",
+    "SELECT x FROM t WHERE g IS NOT NULL AND y IS NOT NULL ORDER BY x DESC LIMIT 2",
+    "SELECT x FROM t WHERE g IN ('a', 'b') ORDER BY 1",
+    "WITH c AS (SELECT x FROM t WHERE x > 1) SELECT COUNT(*) FROM c",
+    "SELECT x FROM t WHERE x > (SELECT AVG(x) FROM t) ORDER BY x",
+    "SELECT COALESCE(y, 0.0) AS y0 FROM t ORDER BY y0",
+    "SELECT g FROM t WHERE g LIKE 'a%'",
+    "SELECT x FROM t UNION ALL SELECT x FROM t ORDER BY x LIMIT 3",
+]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_rendered_sql_executes_identically(db, sql):
+    original = db.execute(sql)
+    rendered = select_to_sql(parse(sql))
+    again = db.execute(rendered)
+    assert again.rows == original.rows
+    assert again.column_names() == original.column_names()

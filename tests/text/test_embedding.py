@@ -1,0 +1,72 @@
+"""Unit and property tests for deterministic hashed embeddings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text import HashingEmbedder, cosine_similarity
+
+
+@pytest.fixture(scope="module")
+def embedder():
+    return HashingEmbedder(dim=256)
+
+
+class TestBasics:
+    def test_deterministic(self, embedder):
+        a = embedder.embed("tariff schedule")
+        b = embedder.embed("tariff schedule")
+        assert np.allclose(a, b)
+
+    def test_unit_norm(self, embedder):
+        vec = embedder.embed("some nontrivial text about suppliers")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self, embedder):
+        assert np.linalg.norm(embedder.embed("")) == 0.0
+
+    def test_batch_shape(self, embedder):
+        matrix = embedder.embed_batch(["a b", "c d", "e f"])
+        assert matrix.shape == (3, 256)
+
+    def test_batch_empty(self, embedder):
+        assert embedder.embed_batch([]).shape == (0, 256)
+
+    def test_min_dim_validated(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(dim=4)
+
+
+class TestSimilarityStructure:
+    def test_related_texts_closer_than_unrelated(self, embedder):
+        tariff1 = embedder.embed("tariff rates for imported goods from germany")
+        tariff2 = embedder.embed("import tariff percentage by country germany")
+        weather = embedder.embed("daily rainfall measured at coastal stations")
+        assert cosine_similarity(tariff1, tariff2) > cosine_similarity(tariff1, weather)
+
+    def test_self_similarity_is_one(self, embedder):
+        vec = embedder.embed("potassium ppm sample")
+        assert cosine_similarity(vec, vec) == pytest.approx(1.0)
+
+    def test_zero_vector_similarity(self, embedder):
+        vec = embedder.embed("word")
+        assert cosine_similarity(vec, np.zeros(256)) == 0.0
+
+
+texts = st.text(alphabet="abcdefg ", min_size=1, max_size=30)
+
+
+@given(texts)
+def test_embedding_is_stable_under_recreation(text):
+    """Different embedder instances agree (no hidden RNG state)."""
+    a = HashingEmbedder(dim=64).embed(text)
+    b = HashingEmbedder(dim=64).embed(text)
+    assert np.allclose(a, b)
+
+
+@given(texts)
+def test_norm_is_zero_or_one(text):
+    vec = HashingEmbedder(dim=64).embed(text)
+    norm = np.linalg.norm(vec)
+    assert norm == pytest.approx(0.0, abs=1e-12) or norm == pytest.approx(1.0)

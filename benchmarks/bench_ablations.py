@@ -16,7 +16,6 @@ from repro.baselines import SeekerSystem, StaticPipelineRunner
 from repro.core.conductor import Conductor
 from repro.datasets.questions import answers_match
 from repro.eval import evaluate_accuracy
-from repro.llm.tokens import count_tokens
 from repro.retriever import PneumaRetriever
 
 
@@ -132,3 +131,13 @@ def test_ablation_action_limit_sweep(arch_eval, benchmark):
     assert results[8] <= results[5] + 1
 
     benchmark.pedantic(lambda: results, rounds=3, iterations=1)
+
+
+@pytest.mark.smoke
+def test_smoke_retrieval_ablation(arch_smoke):
+    """Tiny-N smoke: the three retrieval modes still answer discovery."""
+    retriever = PneumaRetriever(arch_smoke.lake)
+    question = arch_smoke.questions[0]
+    for mode in ("hybrid", "bm25", "vector"):
+        docs = retriever.search(question.text, k=3, mode=mode)
+        assert docs, mode

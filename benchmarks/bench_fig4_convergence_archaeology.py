@@ -49,3 +49,17 @@ def test_fig4_convergence_archaeology(fig4_results, benchmark):
         rounds=3,
         iterations=1,
     )
+
+
+@pytest.mark.smoke
+def test_smoke_convergence_archaeology(arch_smoke):
+    """Tiny-N smoke: convergence evaluation still runs for two systems."""
+    results = evaluate_convergence(
+        arch_smoke,
+        {
+            "FTS": lambda: FTSSystem(arch_smoke.lake),
+            "Pneuma-Seeker": lambda: SeekerSystem(arch_smoke.lake),
+        },
+        max_turns=5,
+    )
+    assert {r.system for r in results} == {"FTS", "Pneuma-Seeker"}

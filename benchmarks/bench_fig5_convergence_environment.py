@@ -41,3 +41,14 @@ def test_fig5_convergence_environment(fig5_results, benchmark):
         rounds=3,
         iterations=1,
     )
+
+
+@pytest.mark.smoke
+def test_smoke_convergence_environment(env_smoke):
+    """Tiny-N smoke: convergence evaluation still runs on environment."""
+    results = evaluate_convergence(
+        env_smoke,
+        {"Pneuma-Seeker": lambda: SeekerSystem(env_smoke.lake)},
+        max_turns=5,
+    )
+    assert results and results[0].system == "Pneuma-Seeker"

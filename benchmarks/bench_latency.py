@@ -10,7 +10,6 @@ measured by the benchmark timer.
 import pytest
 
 from repro.baselines import FTSSystem, RetrieverOnlySystem, SeekerSystem
-from repro.llm.clock import VirtualClock
 
 
 @pytest.fixture(scope="module")
@@ -47,3 +46,16 @@ def test_latency_seeker_vs_static(arch_eval, prompt, benchmark):
 
     # Wall-clock of a static lookup (the actual fast path).
     benchmark(fts.respond, prompt)
+
+
+@pytest.mark.smoke
+def test_smoke_latency(arch_smoke):
+    """Tiny-N smoke: the latency comparison code path still runs."""
+    seeker = SeekerSystem(arch_smoke.lake)
+    fts = FTSSystem(arch_smoke.lake)
+    prompt = arch_smoke.questions[0].text
+    before = seeker.session.llm.clock.now
+    seeker.respond(prompt)
+    assert seeker.session.llm.clock.now > before
+    fts.respond(prompt)
+    assert fts.clock.now < 1.0

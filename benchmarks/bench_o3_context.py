@@ -45,3 +45,11 @@ def test_o3_context_overflow(overflow_results, benchmark):
         rounds=3,
         iterations=1,
     )
+
+
+@pytest.mark.smoke
+def test_smoke_full_context(arch_smoke):
+    """Tiny-N smoke: the overflow evaluation runs (no overflow expected)."""
+    result = evaluate_full_context(arch_smoke, FullContextRunner(arch_smoke.lake))
+    assert result.total == len(arch_smoke.questions)
+    assert 0 <= result.exceeded <= result.total

@@ -33,3 +33,14 @@ def test_table1_shape_matches_paper(arch_full, env_full, benchmark):
         rounds=3,
         iterations=1,
     )
+
+
+@pytest.mark.smoke
+def test_smoke_table1(arch_smoke, env_smoke):
+    """Tiny-N smoke: table stats compute and render at any scale."""
+    stats = [arch_smoke.table_stats(), env_smoke.table_stats()]
+    print()
+    print(render_table1(stats))
+    for row in stats:
+        assert row["num_tables"] > 0
+        assert row["avg_rows"] > 0

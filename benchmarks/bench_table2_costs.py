@@ -50,3 +50,11 @@ def test_table2_costs(cost_rows, benchmark):
         rounds=3,
         iterations=1,
     )
+
+
+@pytest.mark.smoke
+def test_smoke_costs(arch_smoke):
+    """Tiny-N smoke: the cost evaluation pipeline still runs end to end."""
+    row = evaluate_costs(arch_smoke, max_turns=4)
+    assert row.avg_input_tokens > 0
+    assert set(row.costs) == set(TABLE2_MODEL_ORDER)

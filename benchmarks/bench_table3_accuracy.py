@@ -57,3 +57,14 @@ def test_table3_accuracy(accuracy_results, benchmark):
     benchmark.pedantic(
         lambda: {k: v for k, v in by_key.items()}, rounds=3, iterations=1
     )
+
+
+@pytest.mark.smoke
+def test_smoke_accuracy(arch_smoke):
+    """Tiny-N smoke: the accuracy evaluation runs with one system."""
+    results = evaluate_accuracy(
+        arch_smoke,
+        {"Pneuma-Seeker": lambda q: SeekerSystem(arch_smoke.lake).answer(q.text)},
+    )
+    assert len(results) == 1
+    assert results[0].total == len(arch_smoke.questions)

@@ -7,15 +7,59 @@ something; re-running whole evaluations per round would be wasteful).
 
 ``REPRO_BENCH_SCALE`` (default 0.05) controls the evaluation lake scale;
 Table 1 and the O3 context experiment always use the paper-shape scale 1.0.
+
+``--smoke`` runs only the per-file smoke tests: every bench module keeps a
+tiny-N test (marked ``@pytest.mark.smoke``) that exercises its evaluation
+code path in well under a second, so CI can prove the perf scripts still
+run without paying for the paper-scale experiments.
 """
 
 import os
+from dataclasses import replace
 
 import pytest
 
 from repro.datasets import load_archaeology, load_environment
 
 EVAL_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+#: Lake scale and question budget for ``--smoke`` runs.
+SMOKE_SCALE = 0.02
+SMOKE_QUESTIONS = 2
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        default=False,
+        help="run only the tiny-N smoke test of each benchmark file",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--smoke"):
+        skip = pytest.mark.skip(reason="--smoke runs only smoke-marked benches")
+        for item in items:
+            if "smoke" not in item.keywords:
+                item.add_marker(skip)
+
+
+def trim(dataset, n=SMOKE_QUESTIONS):
+    """The same dataset restricted to its first ``n`` questions."""
+    return replace(dataset, questions=dataset.questions[:n])
+
+
+@pytest.fixture(scope="session")
+def arch_smoke():
+    """Archaeology at smoke scale with a two-question budget."""
+    return trim(load_archaeology(scale=SMOKE_SCALE))
+
+
+@pytest.fixture(scope="session")
+def env_smoke():
+    """Environment at smoke scale with a two-question budget."""
+    return trim(load_environment(scale=SMOKE_SCALE))
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,6 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -217,3 +216,50 @@ class HNSWIndex:
             current = self._greedy_step(current, query, lvl)
         candidates = self._search_layer(query, [current], ef, 0)
         return [Neighbor(self._keys[node], d) for d, node in candidates[:k]]
+
+    def search_batch(
+        self, queries: Sequence[np.ndarray], k: int = 10, ef: Optional[int] = None
+    ) -> List[List[Neighbor]]:
+        """Top-k neighbors for each query vector.
+
+        Semantically identical to N :meth:`search` calls; validation is
+        hoisted out of the loop and the queries share one contiguous
+        float64 view, which is what the serving layer's fan-out hits.
+        """
+        if len(queries) == 0:
+            return []
+        matrix = np.asarray(queries, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.dim:
+            raise ValueError(f"expected shape (n, {self.dim}), got {matrix.shape}")
+        if self._entry_point is None:
+            return [[] for _ in range(matrix.shape[0])]
+        ef = max(ef or self.ef_search, k)
+        top_level = self._node_levels[self._entry_point]
+        results: List[List[Neighbor]] = []
+        for query in matrix:
+            current = self._entry_point
+            for lvl in range(top_level, 0, -1):
+                current = self._greedy_step(current, query, lvl)
+            candidates = self._search_layer(query, [current], ef, 0)
+            results.append([Neighbor(self._keys[node], d) for d, node in candidates[:k]])
+        return results
+
+    def add_batch(self, items: Sequence[Tuple[str, np.ndarray]]) -> None:
+        """Insert many ``(key, vector)`` pairs in one call."""
+        for key, vector in items:
+            self.add(key, vector)
+
+    def update(self, key: str, vector: np.ndarray) -> None:
+        """Replace the stored vector of an existing key in place.
+
+        Graph links are kept as built, so after many large updates the
+        neighborhood structure can drift from optimal — searches stay
+        correct (distances always use the current vector) but recall may
+        degrade; rebuild the index if the corpus churns heavily.
+        """
+        if key not in self._positions:
+            raise KeyError(f"key {key!r} is not present; use add()")
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected shape ({self.dim},), got {vector.shape}")
+        self._vectors[self._positions[key]] = vector

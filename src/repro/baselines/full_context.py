@@ -9,7 +9,7 @@ archaeology and 17/20 environment questions overflowed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Optional
 
 from ..datasets.questions import Question
 from ..llm.interface import ContextLengthExceeded, ModelLimits

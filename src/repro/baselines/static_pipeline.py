@@ -18,7 +18,7 @@ from ..llm.policies.conductor import ConductorPolicy
 from ..llm.policies.planning import build_plan, plan_to_json
 from ..llm.prompts import parse_response, render_prompt
 from ..llm.rule_llm import RuleLLM
-from ..llm.semantics import SchemaView, plan_to_sql
+from ..llm.semantics import SchemaView
 from ..relational.catalog import Database
 from ..relational.errors import RelationalError
 from ..retriever.retriever import PneumaRetriever

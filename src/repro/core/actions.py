@@ -7,7 +7,7 @@ user-facing communication.  Actions cross the LLM boundary as JSON.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 

@@ -11,9 +11,8 @@ exactly the protocol the paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Optional
 
-from ..documents.document import Document
 from ..ir.system import IRSystem
 from ..llm.clock import TOOL_CALL_SECONDS
 from ..llm.prompts import parse_response, render_prompt
@@ -62,13 +61,16 @@ class Conductor:
         self.ir = ir
         self.state = state
         self.materializer = materializer
-        # Working memory, persisted across turns within a session.
+        # Working memory, persisted across turns within a session.  All of
+        # it is instance-local: a Conductor is single-session by design and
+        # the serving layer serializes turns within a session with a lock.
         self.docs: Dict[str, Dict[str, Any]] = {}
         self.grounded: Dict[str, Dict[str, List[Any]]] = {}
         self.user_messages: List[str] = []
         self.turns: List[TurnLog] = []
         self.last_result_view: Optional[Any] = None
         self.last_error: str = ""
+        self._plans: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     def handle_turn(self, user_message: str) -> TurnLog:
@@ -151,7 +153,6 @@ class Conductor:
                 # A redefined spec invalidates any stale materialization.
                 self.state.materialized.drop_table(name, if_exists=True)
                 # Remember the interpreted plan for the Materializer.
-                self._plans = getattr(self, "_plans", {})
                 self._plans[name] = action.plan
             if action.queries is not None:
                 self.state.set_queries(action.queries)
@@ -161,7 +162,7 @@ class Conductor:
             if spec is None:
                 self.last_error = f"no target table named {action.table!r} in T"
                 return None
-            plan = getattr(self, "_plans", {}).get(action.table)
+            plan = self._plans.get(action.table)
             outcome = self.materializer.materialize(
                 spec, plan, list(self.docs.values()), note=action.note
             )

@@ -9,7 +9,7 @@ mentioned in this text".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Mapping, Sequence, Set
+from typing import List, Sequence
 
 from ..text.tokenize import tokenize
 

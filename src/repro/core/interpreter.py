@@ -14,7 +14,7 @@ interpolate / rename / select / limit / result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 from ..frames.frame import DataFrame, FrameError
 from ..frames.series import Series

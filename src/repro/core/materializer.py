@@ -10,7 +10,7 @@ errors back for repair, up to a bounded number of attempts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..llm.clock import TOOL_CALL_SECONDS
 from ..llm.prompts import parse_response, render_prompt

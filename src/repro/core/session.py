@@ -14,8 +14,8 @@ effect.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, List, Optional
 
 from ..ir.docdb import DocumentDatabase
 from ..ir.system import IRSystem
@@ -67,10 +67,14 @@ class SeekerSession:
         knowledge: Optional[DocumentDatabase] = None,
         enable_web: bool = True,
         user: str = "",
+        retriever: Optional[PneumaRetriever] = None,
     ):
         self.lake = lake
         self.llm = llm or build_seeker_llm()
-        retriever = PneumaRetriever(lake)
+        # A prebuilt (typically frozen, service-shared) retriever skips the
+        # per-session narrate/embed/index pass; everything mutable — state,
+        # Materializer, Conductor working memory — stays session-private.
+        retriever = retriever if retriever is not None else PneumaRetriever(lake)
         self.knowledge_db = knowledge if knowledge is not None else DocumentDatabase()
         self.ir = IRSystem(
             retriever=retriever,

@@ -9,7 +9,6 @@ surfaces it (Figure 2, box 3) so users can spot subtle mismatches.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 

@@ -14,7 +14,7 @@ columns).  Question difficulty classes (the ``design`` tag):
 from __future__ import annotations
 
 import datetime
-from typing import Any, List
+from typing import List
 
 from ..core.convergence import Concept
 from ..frames.frame import DataFrame

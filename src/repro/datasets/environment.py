@@ -11,7 +11,7 @@ station attributes (name, operator, type, region) live only in the
 from __future__ import annotations
 
 import datetime
-from typing import Any, Dict, List
+from typing import List
 
 from ..core.convergence import Concept
 from ..frames.frame import DataFrame

@@ -11,7 +11,7 @@ country) the Materializer can integrate.
 from __future__ import annotations
 
 import datetime
-from typing import List, Tuple
+from typing import Tuple
 
 from ..ir.web import WebPage, WebSearch
 from ..relational.catalog import Database

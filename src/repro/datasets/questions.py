@@ -9,8 +9,8 @@ is in the set (difficulty class); no system component ever reads it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, List
 
 from ..core.convergence import Concept
 from ..relational.catalog import Database

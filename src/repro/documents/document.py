@@ -9,7 +9,7 @@ policies can parse (schema + samples for tables, records for web pages).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict
 
 
 @dataclass

@@ -9,7 +9,7 @@ context-length failures (the §4.2 side experiment).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List
 
 from ..datasets.questions import BenchmarkDataset, Question, answers_match
 

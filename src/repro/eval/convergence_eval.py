@@ -8,7 +8,6 @@ imposed limit of 15 (non-converged questions count the limit).
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 

@@ -8,7 +8,7 @@ and prices it at each of the paper's six model price points.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 from ..baselines.seeker_system import SeekerSystem
 from ..datasets.questions import BenchmarkDataset

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from ..llm.pricing import TABLE2_MODEL_ORDER
 from .accuracy_eval import AccuracyResult, ContextOverflowResult

@@ -10,9 +10,10 @@ It reuses Pneuma-Retriever's indexer (here: the same hybrid index).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..documents.document import Document
 from ..retriever.index import HybridIndex
@@ -33,6 +34,9 @@ class DocumentDatabase:
         self.index = HybridIndex(dim=192)
         self._entries: Dict[str, KnowledgeEntry] = {}
         self._counter = 0
+        # The serving layer shares one store across all sessions, so
+        # captures from concurrent turns must not race on the counter.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -41,18 +45,24 @@ class DocumentDatabase:
         """Capture one knowledge snippet; returns the stored entry."""
         if not text.strip():
             raise ValueError("knowledge text must be non-empty")
-        self._counter += 1
-        entry = KnowledgeEntry(f"k{self._counter}", text.strip(), topic, author)
-        self._entries[entry.entry_id] = entry
-        self.index.add(entry.entry_id, f"{topic}. {text}" if topic else text)
+        with self._lock:
+            self._counter += 1
+            entry = KnowledgeEntry(f"k{self._counter}", text.strip(), topic, author)
+            self._entries[entry.entry_id] = entry
+            self.index.add(entry.entry_id, f"{topic}. {text}" if topic else text)
         return entry
 
     def entries(self) -> List[KnowledgeEntry]:
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def search(self, query: str, k: int = 3) -> List[Document]:
+        # Serialized against add(): unlike the frozen table index, this
+        # store keeps growing while other sessions search it.
+        with self._lock:
+            hits = self.index.search(query, k=k)
         documents = []
-        for hit in self.index.search(query, k=k):
+        for hit in hits:
             entry = self._entries[hit.doc_id]
             documents.append(
                 Document(

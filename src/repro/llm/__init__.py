@@ -6,7 +6,13 @@ deterministic role policies, meters token usage (:mod:`repro.llm.tokens`),
 enforces a context window, and ticks a virtual latency clock.
 """
 
-from .clock import INDEX_LOOKUP_SECONDS, LLM_CALL_SECONDS, TOOL_CALL_SECONDS, VirtualClock
+from .clock import (
+    INDEX_LOOKUP_SECONDS,
+    LLM_CALL_SECONDS,
+    TOOL_CALL_SECONDS,
+    SimulatedLatencyClock,
+    VirtualClock,
+)
 from .interface import ContextLengthExceeded, LanguageModel, ModelLimits
 from .pricing import MODEL_PRICES, TABLE2_MODEL_ORDER, CostBreakdown, ModelPrice, price_for
 from .prompts import (
@@ -27,6 +33,7 @@ __all__ = [
     "ModelLimits",
     "ContextLengthExceeded",
     "VirtualClock",
+    "SimulatedLatencyClock",
     "LLM_CALL_SECONDS",
     "TOOL_CALL_SECONDS",
     "INDEX_LOOKUP_SECONDS",

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import Protocol
 
-from .tokens import UsageLedger, count_tokens
+from .tokens import count_tokens
 
 
 class ContextLengthExceeded(Exception):

@@ -11,13 +11,11 @@ relative to Pneuma-Seeker in Table 3.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping
 
 from ..prompts import render_response, section_json
 from ..semantics import (
-    FilterSpec,
     SchemaView,
-    content_tokens,
     detect_aggregate,
     detect_round_digits,
     extract_years,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping
 
 from ..prompts import render_response, section_json
 from ..semantics import SchemaView, plan_to_sql

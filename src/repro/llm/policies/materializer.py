@@ -138,7 +138,6 @@ class MaterializerPolicy:
         program = [dict(op) for op in previous]
         if match:
             step = int(match.group(1))
-            op_name = match.group(2)
             if 0 <= step < len(program):
                 op = program[step]["op"]
                 if op in ("select", "parse_dates", "filter_equals", "interpolate", "sort"):

@@ -10,7 +10,7 @@ accuracies in Table 3.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..semantics import (
     FilterSpec,

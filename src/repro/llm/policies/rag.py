@@ -9,7 +9,7 @@ context", and this policy reproduces that boundary honestly.
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping
+from typing import List, Mapping
 
 from ..prompts import render_response, section_json
 from ..semantics import SchemaView, detect_aggregate, wants_first_last, wants_interpolation

@@ -10,7 +10,7 @@ only when its articulated need is fully addressed by the system's output.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set
+from typing import Any, Dict, List, Mapping, Sequence, Set
 
 from ...text.tokenize import tokenize
 from ..prompts import render_response, section_json

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Protocol
 
 from .clock import LLM_CALL_SECONDS, VirtualClock
-from .interface import ContextLengthExceeded, ModelLimits
+from .interface import ModelLimits
 from .prompts import parse_prompt
 from .tokens import UsageLedger, count_tokens
 

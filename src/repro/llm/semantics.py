@@ -14,10 +14,13 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..text.embedding import HashingEmbedder, cosine_similarity
-from ..text.tokenize import stem, tokenize
+from ..text.embedding import CachedEmbedder, cosine_similarity
+from ..text.tokenize import tokenize
 
-_EMBEDDER = HashingEmbedder(dim=192)
+# Memoized: policies re-score the same table/column names on every
+# Conductor step, and under the serving layer's GIL-bound fan-out that
+# redundant feature hashing is the hottest CPU path of a turn.
+_EMBEDDER = CachedEmbedder(dim=192)
 
 
 # ----------------------------------------------------------------------

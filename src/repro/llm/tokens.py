@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import re
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 _PIECE_RE = re.compile(r"[A-Za-z]+|\d{1,4}|[^\w\s]")
 _LONG_WORD_RE = re.compile(r"[A-Za-z]{7,}")

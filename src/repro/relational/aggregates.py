@@ -10,7 +10,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from .errors import BindError, ExecutionError
+from .errors import ExecutionError
 from .types import sort_key
 
 

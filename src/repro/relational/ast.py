@@ -7,7 +7,7 @@ planner to match GROUP BY expressions and aggregate calls inside projections.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Tuple
 
 
 class Expr:

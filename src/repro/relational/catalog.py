@@ -7,7 +7,7 @@ against it, and the datasets load their lakes into one.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .errors import CatalogError
 from .executor import Executor

@@ -9,10 +9,10 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Any, List, Optional, Sequence, Union
+from typing import Any, Optional, Union
 
 from .table import Table
-from .types import DataType, format_value, parse_date
+from .types import format_value, parse_date
 
 
 def _parse_cell(text: str) -> Any:

@@ -17,15 +17,12 @@ from .functions import lookup_scalar
 from .sql_render import derive_column_name, expr_to_sql
 from .table import Column, Schema, Table
 from .types import (
-    DataType,
     cast_value,
     common_type,
     compare_values,
     infer_column_type,
-    is_numeric,
     parse_type_name,
     sort_key,
-    type_of_value,
 )
 
 Row = Tuple[Any, ...]
@@ -777,7 +774,6 @@ class Executor:
             return table  # Already ordered inside _execute_grouped.
         order_keys: List[Tuple] = []
         key_fns: List[Callable[[Row], Any]] = []
-        output_binding = _Binding.for_table(None, table.schema)
         use_output: List[bool] = []
         for item in select.order_by:
             expr = item.expr

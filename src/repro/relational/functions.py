@@ -10,10 +10,10 @@ from __future__ import annotations
 import datetime
 import math
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from .errors import BindError, ExecutionError
-from .types import DataType, cast_value, format_value, parse_date, type_of_value
+from .types import format_value, parse_date, type_of_value
 
 
 @dataclass(frozen=True)

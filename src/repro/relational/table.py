@@ -6,8 +6,8 @@ immutable in spirit: operators build new tables rather than mutating inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from .errors import BindError, ExecutionError
 from .types import DataType, coerce_for_storage, format_value, infer_column_type

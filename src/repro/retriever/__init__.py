@@ -1,15 +1,25 @@
 """retriever — Pneuma-Retriever: hybrid table discovery (HNSW + BM25)."""
 
-from .index import HybridHit, HybridIndex
+from .index import FrozenIndexError, HybridHit, HybridIndex
 from .retriever import PneumaRetriever
-from .summarizer import narrate_column, narrate_table, sample_rows, table_payload
+from .summarizer import (
+    NarrationCache,
+    narrate_column,
+    narrate_table,
+    sample_rows,
+    table_fingerprint,
+    table_payload,
+)
 
 __all__ = [
     "PneumaRetriever",
     "HybridIndex",
     "HybridHit",
+    "FrozenIndexError",
+    "NarrationCache",
     "narrate_table",
     "narrate_column",
     "sample_rows",
+    "table_fingerprint",
     "table_payload",
 ]

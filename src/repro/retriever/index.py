@@ -2,12 +2,18 @@
 
 Scores from the two halves are fused by weighted reciprocal-rank fusion,
 which is robust to their incomparable score scales.
+
+The index is built for the serving layer's sharing model: mutation
+(:meth:`add` / :meth:`add_batch`) is serialized by an internal lock, and
+:meth:`freeze` makes the index immutable-after-build so any number of
+sessions can search it concurrently without coordination.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ann.hnsw import HNSWIndex
 from ..text.bm25 import BM25Index
@@ -22,6 +28,10 @@ class HybridHit:
     vector_rank: Optional[int] = None
 
 
+class FrozenIndexError(RuntimeError):
+    """Raised when mutating an index that :meth:`HybridIndex.freeze` sealed."""
+
+
 class HybridIndex:
     """Dual lexical/dense index over (doc_id, text) pairs."""
 
@@ -32,22 +42,74 @@ class HybridIndex:
         bm25_weight: float = 1.0,
         vector_weight: float = 1.0,
         seed: int = 13,
+        embedder=None,
     ):
-        self.embedder = HashingEmbedder(dim=dim)
+        self.embedder = embedder if embedder is not None else HashingEmbedder(dim=dim)
         self.bm25 = BM25Index()
-        self.vectors = HNSWIndex(dim=dim, metric="cosine", m=12, ef_construction=64, seed=seed)
+        self.vectors = HNSWIndex(
+            dim=self.embedder.dim, metric="cosine", m=12, ef_construction=64, seed=seed
+        )
         self.rrf_k = rrf_k
         self.bm25_weight = bm25_weight
         self.vector_weight = vector_weight
         self._texts: Dict[str, str] = {}
+        self._write_lock = threading.Lock()
+        self._frozen = False
 
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
     def add(self, doc_id: str, text: str) -> None:
-        """Index a document under both halves (re-add replaces lexical side)."""
+        """Index a document under both halves (re-add replaces both sides)."""
+        with self._write_lock:
+            self._check_mutable()
+            self._add_one(doc_id, text, self.embedder.embed(text))
+
+    def add_batch(self, items: Sequence[Tuple[str, str]]) -> None:
+        """Index many ``(doc_id, text)`` pairs; embeddings computed as a batch."""
+        items = list(items)
+        if not items:
+            return
+        with self._write_lock:
+            self._check_mutable()
+            matrix = self.embedder.embed_batch([text for _, text in items])
+            for (doc_id, text), vector in zip(items, matrix):
+                self._add_one(doc_id, text, vector)
+
+    def _add_one(self, doc_id: str, text: str, vector) -> None:
         self.bm25.add(doc_id, text)
-        if doc_id not in self.vectors:
-            self.vectors.add(doc_id, self.embedder.embed(text))
+        if doc_id in self.vectors:
+            # Re-add with changed content: swap the dense vector in place
+            # so both halves rank by the current text.
+            self.vectors.update(doc_id, vector)
+        else:
+            self.vectors.add(doc_id, vector)
         self._texts[doc_id] = text
 
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise FrozenIndexError(
+                "this HybridIndex is frozen (shared by the serving layer); "
+                "build a new index instead of mutating it"
+            )
+
+    def freeze(self) -> "HybridIndex":
+        """Seal the index: all further mutation raises :class:`FrozenIndexError`.
+
+        Searches on a frozen index are lock-free — the structure can no
+        longer change, so concurrent readers need no coordination.
+        """
+        with self._write_lock:
+            self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._texts)
 
@@ -57,37 +119,63 @@ class HybridIndex:
     def text_of(self, doc_id: str) -> str:
         return self._texts[doc_id]
 
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
     def search(self, query: str, k: int = 5, mode: str = "hybrid") -> List[HybridHit]:
         """Top-k fusion search.
 
         ``mode`` supports the retrieval ablation: 'hybrid' (default),
         'bm25' (lexical only), or 'vector' (dense only).
         """
+        return self.search_batch([query], k=k, mode=mode)[0]
+
+    def search_batch(
+        self, queries: Sequence[str], k: int = 5, mode: str = "hybrid"
+    ) -> List[List[HybridHit]]:
+        """Top-k fusion search for each query in one call.
+
+        Exactly equivalent to N :meth:`search` calls, but the two halves
+        are driven through their own batch entry points so per-call setup
+        (corpus statistics, query embedding) is shared.
+        """
         if mode not in ("hybrid", "bm25", "vector"):
             raise ValueError(f"unknown search mode {mode!r}")
+        queries = list(queries)
+        if not queries:
+            return []
         pool = max(k * 3, 10)
-        bm25_ranks: Dict[str, int] = {}
-        vector_ranks: Dict[str, int] = {}
+        batch_bm25: List[Dict[str, int]] = [{} for _ in queries]
+        batch_vector: List[Dict[str, int]] = [{} for _ in queries]
         if mode in ("hybrid", "bm25"):
-            for rank, hit in enumerate(self.bm25.search(query, k=pool)):
-                bm25_ranks[hit.doc_id] = rank
+            for ranks, hits in zip(batch_bm25, self.bm25.search_batch(queries, k=pool)):
+                for rank, hit in enumerate(hits):
+                    ranks[hit.doc_id] = rank
         if mode in ("hybrid", "vector"):
-            for rank, hit in enumerate(self.vectors.search(self.embedder.embed(query), k=pool)):
-                vector_ranks[hit.key] = rank
+            vectors = self.embedder.embed_batch(queries)
+            for ranks, hits in zip(batch_vector, self.vectors.search_batch(vectors, k=pool)):
+                for rank, hit in enumerate(hits):
+                    ranks[hit.key] = rank
 
-        fused: Dict[str, float] = {}
-        for doc_id, rank in bm25_ranks.items():
-            fused[doc_id] = fused.get(doc_id, 0.0) + self.bm25_weight / (self.rrf_k + rank + 1)
-        for doc_id, rank in vector_ranks.items():
-            fused[doc_id] = fused.get(doc_id, 0.0) + self.vector_weight / (self.rrf_k + rank + 1)
-
-        ranked = sorted(fused.items(), key=lambda kv: (-kv[1], kv[0]))
-        return [
-            HybridHit(
-                doc_id,
-                score,
-                bm25_rank=bm25_ranks.get(doc_id),
-                vector_rank=vector_ranks.get(doc_id),
+        results: List[List[HybridHit]] = []
+        for bm25_ranks, vector_ranks in zip(batch_bm25, batch_vector):
+            fused: Dict[str, float] = {}
+            for doc_id, rank in bm25_ranks.items():
+                fused[doc_id] = fused.get(doc_id, 0.0) + self.bm25_weight / (self.rrf_k + rank + 1)
+            for doc_id, rank in vector_ranks.items():
+                fused[doc_id] = (
+                    fused.get(doc_id, 0.0) + self.vector_weight / (self.rrf_k + rank + 1)
+                )
+            ranked = sorted(fused.items(), key=lambda kv: (-kv[1], kv[0]))
+            results.append(
+                [
+                    HybridHit(
+                        doc_id,
+                        score,
+                        bm25_rank=bm25_ranks.get(doc_id),
+                        vector_rank=vector_ranks.get(doc_id),
+                    )
+                    for doc_id, score in ranked[:k]
+                ]
             )
-            for doc_id, score in ranked[:k]
-        ]
+        return results

@@ -4,61 +4,122 @@ Narrates every table (schema + samples), indexes the narrations in the
 hybrid index, and answers natural-language queries with table Documents.
 This is both a component of the IR System and the standalone
 "Pneuma-Retriever" baseline of Figures 4 and 5.
+
+Indexing is incremental and fingerprint-aware: narrations are produced
+through a :class:`NarrationCache`, and :meth:`reindex` skips any table
+whose content fingerprint is unchanged — re-indexing an unchanged catalog
+costs one hash pass instead of a full narrate/embed/insert pipeline.  A
+frozen retriever (see :meth:`freeze`) is safe to share across concurrent
+sessions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..documents.document import Document
 from ..relational.catalog import Database
-from ..relational.table import Table
 from .index import HybridIndex
-from .summarizer import narrate_table, table_payload
+from .summarizer import NarrationCache, table_fingerprint, table_payload
 
 
 class PneumaRetriever:
     """Hybrid (HNSW + BM25) table discovery, as in Balaka et al. [1]."""
 
-    def __init__(self, database: Database, dim: int = 192, sample_rows: int = 3):
+    def __init__(
+        self,
+        database: Database,
+        dim: int = 192,
+        sample_rows: int = 3,
+        narration_cache: Optional[NarrationCache] = None,
+        embedder=None,
+    ):
         self.database = database
         self.sample_rows = sample_rows
-        self.index = HybridIndex(dim=dim)
+        self.narrations = narration_cache if narration_cache is not None else NarrationCache()
+        self.index = HybridIndex(dim=dim, embedder=embedder)
         self._narrations: Dict[str, str] = {}
-        for table in database.tables():
-            self._index_table(table)
+        self._fingerprints: Dict[str, Tuple[str, int]] = {}
+        self.build_report = self.reindex()
 
-    def _index_table(self, table: Table) -> None:
-        narration = narrate_table(table)
-        self._narrations[table.name] = narration
-        self.index.add(table.name, narration)
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def reindex(self) -> Dict[str, int]:
+        """Bring the index up to date with the database, skipping unchanged
+        tables by content fingerprint.  Returns ``{"indexed": n, "skipped": m}``.
+        """
+        pending: List[Tuple[str, str]] = []
+        staged_narrations: Dict[str, str] = {}
+        staged_fingerprints: Dict[str, Tuple[str, int]] = {}
+        skipped = 0
+        for table in self.database.tables():
+            fingerprint = table_fingerprint(table)
+            if self._fingerprints.get(table.name) == fingerprint:
+                skipped += 1
+                continue
+            narration = self.narrations.narrate(table, key=fingerprint)
+            staged_narrations[table.name] = narration
+            staged_fingerprints[table.name] = fingerprint
+            pending.append((table.name, narration))
+        if pending:
+            # May raise FrozenIndexError; commit our own state only after
+            # the index accepted the batch, so a failed reindex leaves the
+            # retriever exactly as it was.
+            self.index.add_batch(pending)
+        self._narrations.update(staged_narrations)
+        self._fingerprints.update(staged_fingerprints)
+        return {"indexed": len(pending), "skipped": skipped}
 
     def refresh(self) -> None:
         """Re-index tables added to the database since construction."""
-        for table in self.database.tables():
-            if table.name not in self._narrations:
-                self._index_table(table)
+        self.reindex()
+
+    def freeze(self) -> "PneumaRetriever":
+        """Seal the underlying index for lock-free concurrent searching."""
+        self.index.freeze()
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self.index.frozen
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters of the narration cache (embedder adds its own)."""
+        return self.narrations.stats()
 
     def narration(self, table_name: str) -> str:
         return self._narrations[table_name]
 
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
     def search(self, query: str, k: int = 5, mode: str = "hybrid") -> List[Document]:
         """Top-k tables as Documents (payload = schema + sample rows)."""
-        documents = []
-        for hit in self.index.search(query, k=k, mode=mode):
-            table = self.database.resolve_table(hit.doc_id)
-            documents.append(
-                Document(
-                    doc_id=f"table:{table.name}",
-                    kind="table",
-                    title=table.name,
-                    text=self._narrations[table.name],
-                    payload=table_payload(table, self.sample_rows),
-                    score=hit.score,
-                    source="pneuma-retriever",
+        return self.search_batch([query], k=k, mode=mode)[0]
+
+    def search_batch(
+        self, queries: Sequence[str], k: int = 5, mode: str = "hybrid"
+    ) -> List[List[Document]]:
+        """Top-k tables for each query — N searches, one index pass."""
+        results: List[List[Document]] = []
+        for hits in self.index.search_batch(queries, k=k, mode=mode):
+            documents = []
+            for hit in hits:
+                table = self.database.resolve_table(hit.doc_id)
+                documents.append(
+                    Document(
+                        doc_id=f"table:{table.name}",
+                        kind="table",
+                        title=table.name,
+                        text=self._narrations[table.name],
+                        payload=table_payload(table, self.sample_rows),
+                        score=hit.score,
+                        source="pneuma-retriever",
+                    )
                 )
-            )
-        return documents
+            results.append(documents)
+        return results
 
     def column_values(self, table_name: str, column: str, limit: int = 200) -> List:
         """Distinct values of a column (the grounding hook Conductor uses).

@@ -1,0 +1,26 @@
+"""service — the concurrent Pneuma serving layer.
+
+One shared, frozen hybrid index; many independent Seeker sessions on a
+thread pool; batched retrieval for sessionless callers.  See
+:class:`PneumaService` for the four-call API.
+"""
+
+from .metrics import ServiceMetrics, percentile
+from .service import (
+    ManagedSession,
+    PneumaService,
+    ServiceError,
+    SessionSummary,
+)
+from .shared import SharedIndexBundle, build_shared_retriever
+
+__all__ = [
+    "PneumaService",
+    "ServiceError",
+    "SessionSummary",
+    "ManagedSession",
+    "ServiceMetrics",
+    "percentile",
+    "SharedIndexBundle",
+    "build_shared_retriever",
+]

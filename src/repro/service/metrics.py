@@ -1,0 +1,81 @@
+"""Serving metrics: counters plus a bounded turn-latency reservoir.
+
+The throughput benchmark and the service's ``stats()`` endpoint both read
+from here.  Everything is guarded by one lock; observation is O(1) and the
+reservoir is bounded so a long-lived service cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+
+def percentile(samples: List[float], p: float) -> float:
+    """The ``p``-th percentile (0..100) by linear interpolation."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency samples for one PneumaService."""
+
+    def __init__(self, max_samples: int = 10_000):
+        self.max_samples = max_samples
+        self._lock = threading.Lock()
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.turns_served = 0
+        self.batch_queries = 0
+        self._turn_seconds: List[float] = []
+
+    # ------------------------------------------------------------------
+    def record_session_opened(self) -> None:
+        with self._lock:
+            self.sessions_opened += 1
+
+    def record_session_closed(self) -> None:
+        with self._lock:
+            self.sessions_closed += 1
+
+    def record_turn(self, seconds: float) -> None:
+        with self._lock:
+            self.turns_served += 1
+            self._turn_seconds.append(seconds)
+            if len(self._turn_seconds) > self.max_samples:
+                # Drop the oldest half in one splice; amortized O(1).
+                del self._turn_seconds[: self.max_samples // 2]
+
+    def record_batch_queries(self, n: int) -> None:
+        with self._lock:
+            self.batch_queries += n
+
+    # ------------------------------------------------------------------
+    def turn_latency(self, p: float) -> float:
+        with self._lock:
+            samples = list(self._turn_seconds)
+        return percentile(samples, p)
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            samples = list(self._turn_seconds)
+            counts = {
+                "sessions_opened": self.sessions_opened,
+                "sessions_closed": self.sessions_closed,
+                "turns_served": self.turns_served,
+                "batch_queries": self.batch_queries,
+            }
+        counts["turn_p50_seconds"] = percentile(samples, 50.0)
+        counts["turn_p95_seconds"] = percentile(samples, 95.0)
+        counts["turn_mean_seconds"] = sum(samples) / len(samples) if samples else 0.0
+        return counts

@@ -1,0 +1,237 @@
+"""PneumaService: many concurrent Seeker sessions over one shared index.
+
+The paper's Conductor loop is interactive and stateful, which makes naive
+scaling expensive: every session would narrate, embed, and index the whole
+catalog before its first turn.  The service amortizes that — one frozen
+:class:`HybridIndex` (plus narration/embedding caches) is built per
+service and shared read-only by every session, so opening a session costs
+only its private state ``(T, Q)``.
+
+Concurrency model:
+
+* a ``ThreadPoolExecutor`` runs turns; LLM/tool waits (real network I/O in
+  production, :class:`SimulatedLatencyClock` stalls offline) overlap
+  across sessions;
+* a per-session lock serializes turns *within* a session, so the
+  Conductor's working memory never interleaves;
+* the shared index is immutable-after-build (``freeze()``), so searches
+  need no coordination at all;
+* the Document Database of captured knowledge is shared service-wide —
+  one user's clarification accelerates every other session, the paper's
+  emergent-documentation effect at serving scale.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.session import SeekerResponse, SeekerSession, build_seeker_llm
+from ..ir.docdb import DocumentDatabase
+from ..ir.system import IRSystem, RetrievalResult
+from ..llm.clock import SimulatedLatencyClock
+from ..llm.rule_llm import RuleLLM
+from ..relational.catalog import Database
+from .metrics import ServiceMetrics
+from .shared import SharedIndexBundle, build_shared_retriever
+
+
+class ServiceError(RuntimeError):
+    """Raised for protocol misuse: unknown/closed sessions, closed service."""
+
+
+@dataclass
+class ManagedSession:
+    """One live session plus the serving bookkeeping around it."""
+
+    session_id: str
+    session: SeekerSession
+    user: str = ""
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    turns: int = 0
+    closed: bool = False
+
+
+@dataclass
+class SessionSummary:
+    """What ``close_session`` returns: the session's lifetime accounting."""
+
+    session_id: str
+    user: str
+    turns: int
+    virtual_seconds: float
+    prompt_tokens: int
+    completion_tokens: int
+
+
+class PneumaService:
+    """A concurrent serving layer around Pneuma-Seeker sessions.
+
+    The public surface is four calls — ``open_session``, ``post_turn``,
+    ``batch_retrieve``, ``close_session`` — plus ``stats()``.  Use it as a
+    context manager or call :meth:`shutdown` to release the worker pool.
+    """
+
+    def __init__(
+        self,
+        lake: Database,
+        max_workers: int = 8,
+        dim: int = 192,
+        llm_factory: Optional[Callable[[], RuleLLM]] = None,
+        llm_latency_factor: float = 0.0,
+    ):
+        self.lake = lake
+        self.shared: SharedIndexBundle = build_shared_retriever(lake, dim=dim)
+        self.knowledge = DocumentDatabase()
+        # Service-level IR facade for batch_retrieve (sessions build their
+        # own IRSystem over the same shared retriever + knowledge store).
+        self.ir = IRSystem(retriever=self.shared.retriever, knowledge=self.knowledge)
+        self.metrics = ServiceMetrics()
+        self._llm_factory = llm_factory
+        self._llm_latency_factor = llm_latency_factor
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="pneuma-turn"
+        )
+        self._sessions: Dict[str, ManagedSession] = {}
+        self._registry_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "PneumaService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and release the worker pool."""
+        with self._registry_lock:
+            self._shutdown = True
+        self._executor.shutdown(wait=wait)
+
+    def _build_llm(self) -> RuleLLM:
+        if self._llm_factory is not None:
+            return self._llm_factory()
+        return build_seeker_llm(clock=SimulatedLatencyClock(self._llm_latency_factor))
+
+    # ------------------------------------------------------------------
+    # The four-call API
+    # ------------------------------------------------------------------
+    def open_session(self, user: str = "") -> str:
+        """Start a session against the shared index; returns its id."""
+        with self._registry_lock:
+            if self._shutdown:
+                raise ServiceError("service is shut down")
+            session_id = f"s{next(self._ids)}"
+        session = SeekerSession(
+            self.lake,
+            llm=self._build_llm(),
+            knowledge=self.knowledge,
+            enable_web=False,
+            user=user,
+            retriever=self.shared.retriever,
+        )
+        managed = ManagedSession(session_id=session_id, session=session, user=user)
+        with self._registry_lock:
+            # Re-check: shutdown() may have run while the session was being
+            # built, and a session registered now could never be closed.
+            if self._shutdown:
+                raise ServiceError("service is shut down")
+            self._sessions[session_id] = managed
+        self.metrics.record_session_opened()
+        return session_id
+
+    def post_turn(self, session_id: str, message: str, wait: bool = True):
+        """Run one user turn on the worker pool.
+
+        With ``wait=True`` (default) blocks and returns the
+        :class:`SeekerResponse`; with ``wait=False`` returns a ``Future``
+        so callers can fan out turns across sessions and join later.
+        Turns posted to the same session serialize on its lock; turns on
+        different sessions run in parallel.
+        """
+        managed = self._resolve(session_id)
+        future: Future = self._executor.submit(self._run_turn, managed, message)
+        if wait:
+            return future.result()
+        return future
+
+    def batch_retrieve(
+        self, queries: Sequence[str], k_tables: int = 6, k_other: int = 2
+    ) -> List[RetrievalResult]:
+        """Answer N discovery queries in one pass over the shared index.
+
+        Equivalent to N sequential ``IRSystem.retrieve`` calls (same
+        documents, same order); used by sessionless callers — dashboards,
+        prefetchers, evaluation sweeps.
+        """
+        results = self.ir.retrieve_batch(queries, k_tables=k_tables, k_other=k_other)
+        self.metrics.record_batch_queries(len(results))
+        return results
+
+    def close_session(self, session_id: str) -> SessionSummary:
+        """End a session (waits for its in-flight turn) and summarize it."""
+        with self._registry_lock:
+            if self._shutdown:
+                raise ServiceError("service is shut down")
+            # Pop atomically so exactly one concurrent closer wins.
+            managed = self._sessions.pop(session_id, None)
+        if managed is None:
+            raise ServiceError(f"unknown or closed session {session_id!r}")
+        with managed.lock:  # wait out any in-flight turn, then seal
+            managed.closed = True
+        self.metrics.record_session_closed()
+        usage = managed.session.llm.ledger.total()
+        return SessionSummary(
+            session_id=session_id,
+            user=managed.user,
+            turns=managed.turns,
+            virtual_seconds=managed.session.llm.clock.now,
+            prompt_tokens=usage.prompt_tokens,
+            completion_tokens=usage.completion_tokens,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def open_session_count(self) -> int:
+        with self._registry_lock:
+            return len(self._sessions)
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters, latency percentiles, and cache hit rates."""
+        snapshot = self.metrics.snapshot()
+        snapshot["open_sessions"] = self.open_session_count()
+        snapshot["index_size"] = len(self.shared.retriever.index)
+        snapshot["caches"] = self.shared.cache_stats()
+        snapshot["knowledge_entries"] = len(self.knowledge)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve(self, session_id: str) -> ManagedSession:
+        with self._registry_lock:
+            if self._shutdown:
+                raise ServiceError("service is shut down")
+            managed = self._sessions.get(session_id)
+        if managed is None or managed.closed:
+            raise ServiceError(f"unknown or closed session {session_id!r}")
+        return managed
+
+    def _run_turn(self, managed: ManagedSession, message: str) -> SeekerResponse:
+        with managed.lock:
+            if managed.closed:
+                raise ServiceError(f"session {managed.session_id!r} closed mid-flight")
+            started = time.perf_counter()
+            response = managed.session.submit(message)
+            managed.turns += 1
+        self.metrics.record_turn(time.perf_counter() - started)
+        return response

@@ -1,0 +1,72 @@
+"""The shared, immutable-after-build retrieval substrate of a service.
+
+One :class:`SharedIndexBundle` is built per service: a fingerprint-cached
+narration pass, a memoizing embedder, and a frozen :class:`HybridIndex`
+that every session searches lock-free.
+
+Two warm paths exist, with different savings.  ``reindex()`` on an
+*existing* retriever skips unchanged tables entirely (one fingerprint
+pass — the near-free case the throughput bench measures).  Passing a
+previous bundle's ``narrations``/``embedder`` into
+:func:`build_shared_retriever` builds a *fresh* frozen index: narrations
+and embeddings come from the caches, but the BM25/HNSW inserts are
+repaid in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..relational.catalog import Database
+from ..retriever.retriever import PneumaRetriever
+from ..retriever.summarizer import NarrationCache
+from ..text.embedding import CachedEmbedder
+
+
+@dataclass
+class SharedIndexBundle:
+    """A frozen retriever plus the caches that built it."""
+
+    retriever: PneumaRetriever
+    narrations: NarrationCache
+    embedder: CachedEmbedder
+    build_report: Dict[str, int] = field(default_factory=dict)
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "narration": self.narrations.stats(),
+            "embedding": self.embedder.stats(),
+        }
+
+
+def build_shared_retriever(
+    lake: Database,
+    dim: int = 192,
+    sample_rows: int = 3,
+    narrations: NarrationCache = None,
+    embedder: CachedEmbedder = None,
+) -> SharedIndexBundle:
+    """Narrate + embed + index every table of ``lake``, then freeze.
+
+    Passing the previous bundle's ``narrations``/``embedder`` makes this a
+    warm rebuild: unchanged tables are recognized by fingerprint inside
+    the caches and their narrations/embeddings are returned without
+    recomputation.
+    """
+    narrations = narrations if narrations is not None else NarrationCache()
+    embedder = embedder if embedder is not None else CachedEmbedder(dim=dim)
+    retriever = PneumaRetriever(
+        lake,
+        dim=dim,
+        sample_rows=sample_rows,
+        narration_cache=narrations,
+        embedder=embedder,
+    )
+    retriever.freeze()
+    return SharedIndexBundle(
+        retriever=retriever,
+        narrations=narrations,
+        embedder=embedder,
+        build_report=dict(retriever.build_report),
+    )

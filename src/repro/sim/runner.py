@@ -10,7 +10,7 @@ observes with GPT-4o's 128k window on raw-table outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol
+from typing import Dict, List, Protocol
 
 from ..datasets.questions import Question
 from ..llm.prompts import parse_response, render_prompt

@@ -1,13 +1,14 @@
 """text — tokenization, BM25, and deterministic embeddings."""
 
 from .bm25 import BM25Hit, BM25Index
-from .embedding import HashingEmbedder, cosine_similarity
+from .embedding import CachedEmbedder, HashingEmbedder, cosine_similarity
 from .tokenize import STOPWORDS, char_ngrams, stem, tokenize
 
 __all__ = [
     "BM25Index",
     "BM25Hit",
     "HashingEmbedder",
+    "CachedEmbedder",
     "cosine_similarity",
     "tokenize",
     "stem",

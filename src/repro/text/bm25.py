@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from .tokenize import tokenize
 
@@ -47,6 +47,11 @@ class BM25Index:
         self._total_length += len(tokens)
         for term, tf in Counter(tokens).items():
             self._postings.setdefault(term, {})[doc_id] = tf
+
+    def add_batch(self, items: Sequence[Tuple[str, str]]) -> None:
+        """Index many ``(doc_id, text)`` pairs in one call."""
+        for doc_id, text in items:
+            self.add(doc_id, text)
 
     def remove(self, doc_id: str) -> None:
         if doc_id not in self._doc_lengths:
@@ -110,3 +115,32 @@ class BM25Index:
                 scores[doc_id] = scores.get(doc_id, 0.0) + idf * tf * (self.k1 + 1) / denom
         ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
         return [BM25Hit(doc_id, score) for doc_id, score in ranked[:k]]
+
+    def search_batch(self, queries: Sequence[str], k: int = 10) -> List[List[BM25Hit]]:
+        """Top-k hits for each query, sharing the per-call corpus statistics.
+
+        IDF and average document length are computed once per batch (they
+        depend only on the corpus), so fan-out from the serving layer does
+        not repay that cost per query.
+        """
+        if not self._doc_lengths:
+            return [[] for _ in queries]
+        avg_len = self._total_length / len(self._doc_lengths)
+        idf_cache: Dict[str, float] = {}
+        results: List[List[BM25Hit]] = []
+        for query in queries:
+            scores: Dict[str, float] = {}
+            for term in set(tokenize(query)):
+                posting = self._postings.get(term)
+                if not posting:
+                    continue
+                idf = idf_cache.get(term)
+                if idf is None:
+                    idf = idf_cache[term] = self._idf(term)
+                for doc_id, tf in posting.items():
+                    doc_len = self._doc_lengths[doc_id]
+                    denom = tf + self.k1 * (1 - self.b + self.b * doc_len / avg_len)
+                    scores[doc_id] = scores.get(doc_id, 0.0) + idf * tf * (self.k1 + 1) / denom
+            ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+            results.append([BM25Hit(doc_id, score) for doc_id, score in ranked[:k]])
+        return results

@@ -10,7 +10,9 @@ hybrid index needs from the dense half on our corpora (see DESIGN.md §2).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, List, Sequence
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -64,6 +66,59 @@ class HashingEmbedder:
         if not texts:
             return np.zeros((0, self.dim), dtype=np.float64)
         return np.stack([self.embed(t) for t in texts])
+
+
+class CachedEmbedder:
+    """A memoizing wrapper around :class:`HashingEmbedder`.
+
+    Narrations are re-embedded every time a catalog is (re)indexed; for an
+    unchanged catalog that work is pure waste.  The cache is keyed by the
+    text itself, bounded by ``max_entries`` (FIFO eviction), thread-safe,
+    and counts hits/misses so the serving layer can expose the numbers.
+    """
+
+    def __init__(self, inner: Optional[HashingEmbedder] = None, dim: int = 256,
+                 max_entries: int = 50_000):
+        self.inner = inner if inner is not None else HashingEmbedder(dim=dim)
+        self.max_entries = max_entries
+        self._cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def dim(self) -> int:
+        return self.inner.dim
+
+    def embed(self, text: str) -> np.ndarray:
+        with self._lock:
+            cached = self._cache.get(text)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        vector = self.inner.embed(text)
+        vector.setflags(write=False)  # shared across threads; never mutate
+        with self._lock:
+            self._cache[text] = vector
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
+        return vector
+
+    def embed_batch(self, texts: Sequence[str]) -> np.ndarray:
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.embed(t) for t in texts])
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses, "size": len(self._cache)}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:

@@ -106,3 +106,36 @@ def test_nearest_neighbor_always_found_small(n, seed):
     truth = brute.search(q, k=1)[0]
     got = hnsw.search(q, k=1, ef=max(40, n))[0]
     assert got.distance == pytest.approx(truth.distance)
+
+
+class TestBatchAPI:
+    def test_search_batch_matches_search(self):
+        rng = np.random.default_rng(11)
+        vectors = rng.normal(size=(60, 8))
+        hnsw, _ = build_pair(vectors)
+        queries = rng.normal(size=(5, 8))
+        batched = hnsw.search_batch(queries, k=4, ef=40)
+        for query, hits in zip(queries, batched):
+            solo = hnsw.search(query, k=4, ef=40)
+            assert [(h.key, h.distance) for h in hits] == [(h.key, h.distance) for h in solo]
+
+    def test_search_batch_empty_index_and_batch(self):
+        from repro.ann import HNSWIndex
+
+        empty = HNSWIndex(dim=8, m=4, ef_construction=8)
+        assert empty.search_batch(np.zeros((2, 8)), k=3) == [[], []]
+        assert empty.search_batch(np.zeros((0, 8)), k=3) == []
+
+    def test_search_batch_bad_shape(self):
+        rng = np.random.default_rng(5)
+        hnsw, _ = build_pair(rng.normal(size=(10, 8)))
+        with pytest.raises(ValueError):
+            hnsw.search_batch(rng.normal(size=(3, 4)), k=2)
+
+    def test_add_batch(self):
+        from repro.ann import HNSWIndex
+
+        rng = np.random.default_rng(7)
+        index = HNSWIndex(dim=6, m=4, ef_construction=8)
+        index.add_batch([(f"v{i}", rng.normal(size=6)) for i in range(20)])
+        assert len(index) == 20

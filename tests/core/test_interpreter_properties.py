@@ -1,6 +1,6 @@
 """Property tests: pipeline programs behave like their SQL equivalents."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import PipelineInterpreter

@@ -13,7 +13,7 @@ from repro.eval import (
     render_table2,
     render_table3,
 )
-from repro.eval.accuracy_eval import AccuracyResult, ContextOverflowResult, QuestionOutcome
+from repro.eval.accuracy_eval import AccuracyResult, ContextOverflowResult
 from repro.eval.convergence_eval import ConvergenceResult
 from repro.eval.cost_eval import CostRow
 from repro.llm.pricing import MODEL_PRICES

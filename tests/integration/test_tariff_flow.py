@@ -27,7 +27,7 @@ class TestTariffFlow:
         first = session.submit("What impact will tariffs have on our organization?")
         assert first.message  # system engages and reports something
         # Round 2: the user's key clarification from §3.6.
-        second = session.submit(
+        session.submit(
             "Impact should be calculated relative to the previous active tariff, "
             "not just the current rate. What is the average price of orders from "
             "Germany under the new tariffs?"

@@ -1,8 +1,6 @@
 """Unit tests for the role policies behind the RuleLLM."""
 
-import json
 
-import pytest
 
 from repro.llm.policies import (
     ConductorPolicy,

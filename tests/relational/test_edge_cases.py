@@ -6,7 +6,6 @@ import datetime
 import pytest
 
 from repro.relational import Database, Table
-from repro.relational.errors import BindError, ExecutionError
 
 
 @pytest.fixture

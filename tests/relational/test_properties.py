@@ -1,6 +1,6 @@
 """Property-based tests for relational-engine invariants."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.relational import Database, Table

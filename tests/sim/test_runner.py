@@ -1,6 +1,5 @@
 """Unit tests for the LLM-Sim runner."""
 
-import pytest
 
 from repro.core import Concept
 from repro.datasets.questions import Question

@@ -103,3 +103,34 @@ def test_self_retrieval(doc):
     idx.add("noise", "completely unrelated vocabulary here")
     hits = idx.search(" ".join(doc), k=2)
     assert hits and hits[0].doc_id == "target"
+
+
+class TestBatchAPI:
+    @pytest.fixture
+    def index(self):
+        idx = BM25Index()
+        idx.add_batch(
+            [
+                ("a", "tariff schedule for imported goods"),
+                ("b", "purchase orders by supplier"),
+                ("c", "daily rainfall by station"),
+            ]
+        )
+        return idx
+
+    def test_search_batch_matches_search(self, index):
+        queries = ["imported tariff goods", "supplier orders", "rainfall", "no match here"]
+        batched = index.search_batch(queries, k=2)
+        for query, hits in zip(queries, batched):
+            solo = index.search(query, k=2)
+            assert [(h.doc_id, h.score) for h in hits] == [(h.doc_id, h.score) for h in solo]
+
+    def test_search_batch_empty_index(self):
+        assert BM25Index().search_batch(["anything"], k=3) == [[]]
+
+    def test_add_batch_replaces_like_add(self, index):
+        index.add_batch([("a", "completely different words now")])
+        assert index.search("tariff", k=3) == [] or all(
+            h.doc_id != "a" for h in index.search("tariff", k=3)
+        )
+        assert index.search("different words", k=1)[0].doc_id == "a"

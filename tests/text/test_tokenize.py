@@ -1,6 +1,6 @@
 """Unit tests for the tokenizer and stemmer."""
 
-from repro.text import STOPWORDS, char_ngrams, stem, tokenize
+from repro.text import char_ngrams, stem, tokenize
 
 
 class TestTokenize:

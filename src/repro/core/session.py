@@ -68,6 +68,7 @@ class SeekerSession:
         enable_web: bool = True,
         user: str = "",
         retriever: Optional[PneumaRetriever] = None,
+        plan_cache=None,
     ):
         self.lake = lake
         self.llm = llm or build_seeker_llm()
@@ -83,7 +84,10 @@ class SeekerSession:
         )
         if not enable_web:
             self.ir.unregister("web")
-        self.state = SharedState()
+        # plan_cache (when service-provided) is shared across sessions:
+        # the Conductor re-runs templated Q every turn, and warm plans
+        # skip parse+bind+plan entirely.
+        self.state = SharedState(plan_cache=plan_cache)
         self.materializer = Materializer(self.llm, lake, self.state)
         self.conductor = Conductor(self.llm, self.ir, self.state, self.materializer)
         self.user = user

@@ -29,7 +29,12 @@ class SQLResult:
 
 
 class SQLExecutor:
-    """Runs Q (a sequence of SQL statements) against a database."""
+    """Runs Q (a sequence of SQL statements) against a database.
+
+    Statements go through the database's planned, vectorized engine: a
+    repeated templated query (the Conductor re-runs Q every turn) hits
+    the catalog-versioned plan cache and skips parse+bind+plan.
+    """
 
     def __init__(self, database: Database):
         self.database = database
@@ -39,6 +44,10 @@ class SQLExecutor:
             return SQLResult(sql=sql, table=self.database.execute(sql))
         except RelationalError as exc:
             return SQLResult(sql=sql, error=f"{type(exc).__name__}: {exc}")
+
+    def plan_cache_stats(self) -> dict:
+        """Hit/miss counters of the backing database's plan cache."""
+        return self.database.plan_cache_stats()
 
     def execute_all(self, queries: List[str]) -> List[SQLResult]:
         """Execute Q in order, stopping at the first error."""

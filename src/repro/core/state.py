@@ -72,10 +72,14 @@ class SharedState:
     to ``changelog`` — the trace the UI and the evaluation inspect.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, plan_cache: Optional[Any] = None) -> None:
         self.tables: Dict[str, TargetTable] = {}  # T (specification)
         self.queries: List[str] = []  # Q
-        self.materialized = Database("materialized")
+        # A service may hand every session one shared SQL plan cache so
+        # repeated templated Q executions skip parse+bind+plan; keys are
+        # namespaced per database, so sharing is collision-free.
+        self._plan_cache = plan_cache
+        self.materialized = Database("materialized", plan_cache=plan_cache)
         self.version = 0
         self.changelog: List[str] = []
         self.last_result: Optional[Table] = None
@@ -116,7 +120,7 @@ class SharedState:
     def clear(self) -> None:
         self.tables.clear()
         self.queries.clear()
-        self.materialized = Database("materialized")
+        self.materialized = Database("materialized", plan_cache=self._plan_cache)
         self.last_result = None
         self._bump("cleared state")
 

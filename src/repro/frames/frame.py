@@ -43,8 +43,13 @@ class DataFrame:
 
     @classmethod
     def from_table(cls, table: "Any") -> "DataFrame":
-        """Build from a :class:`repro.relational.Table`."""
-        return cls(table.to_columns())
+        """Build from a :class:`repro.relational.Table`.
+
+        Reads the table's memoized column-major view instead of pivoting
+        row tuples value-by-value; Series copies each column, so the
+        frame never aliases the table's storage.
+        """
+        return cls(dict(zip(table.column_names(), table.as_columns())))
 
     def to_table(self, name: str) -> "Any":
         """Convert to a :class:`repro.relational.Table`."""

@@ -1,8 +1,19 @@
-"""Query executor: binds and evaluates statements against a catalog.
+"""Query executors: bind and evaluate statements against a catalog.
 
-The executor is a straightforward tuple-at-a-time interpreter with hash
-joins for equi-join conditions.  It implements SQL three-valued logic,
-grouped aggregation, set operations, CTEs, and uncorrelated subqueries.
+Two engines share this module's API:
+
+* :class:`RowExecutor` — the original tuple-at-a-time tree-walking
+  interpreter with hash joins for equi-join conditions.  It implements SQL
+  three-valued logic, grouped aggregation, set operations, CTEs, and
+  uncorrelated subqueries.  It re-binds and re-compiles every expression
+  per query, which makes it the reference ("baseline") engine for the
+  benchmarks and the semantic oracle for the planned engine.
+* :class:`Executor` — the default engine: lowers the AST once into a
+  logical plan (:mod:`repro.relational.plan`) whose operators evaluate
+  compiled expression closures column-at-a-time
+  (:mod:`repro.relational.vectorized`).  Plans are cacheable keyed by
+  (normalized SQL, catalog version), so repeated templated queries skip
+  parse+bind+plan entirely.
 """
 
 from __future__ import annotations
@@ -176,8 +187,8 @@ def _collect_aggregates(expr: ast.Expr, out: Dict[Tuple, ast.FunctionCall]) -> N
         _collect_aggregates(expr.pattern, out)
 
 
-class Executor:
-    """Executes parsed statements against a table-resolving catalog."""
+class RowExecutor:
+    """Executes parsed statements tuple-at-a-time (the baseline engine)."""
 
     def __init__(self, catalog: "CatalogProtocol"):
         self.catalog = catalog
@@ -291,11 +302,14 @@ class Executor:
             if table is None:
                 table = self.catalog.resolve_table(texpr.name)
             binding = _Binding.for_table(texpr.binding_name, table.schema)
-            return binding, list(table.rows)
+            # Downstream operators only read the row list (filters and
+            # joins build new lists), so hand out the table's storage
+            # directly instead of copying it on every scan.
+            return binding, table.rows
         if isinstance(texpr, ast.SubqueryRef):
             table = self.execute_select(texpr.select, env)
             binding = _Binding.for_table(texpr.alias, table.schema)
-            return binding, list(table.rows)
+            return binding, table.rows
         if isinstance(texpr, ast.Join):
             return self._execute_join(texpr, env)
         raise ExecutionError(f"unsupported FROM item: {type(texpr).__name__}")
@@ -1185,3 +1199,28 @@ class CatalogProtocol:
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:  # pragma: no cover
         raise NotImplementedError
+
+
+class Executor:
+    """The default engine: plans once, executes column-at-a-time.
+
+    Same public API as :class:`RowExecutor` (``execute_statement`` /
+    ``execute_select``), but SELECTs are lowered to a logical plan with
+    all column references resolved to positions, then run through the
+    vectorized operators.  Pass a :class:`repro.relational.plan.PlanCache`
+    to reuse plans across statements (the :class:`Database` does).
+    """
+
+    def __init__(self, catalog: "CatalogProtocol", plan_cache=None):
+        self.catalog = catalog
+        self.plan_cache = plan_cache
+
+    def execute_statement(self, stmt: ast.Statement) -> Table:
+        from .plan import execute_statement_planned
+
+        return execute_statement_planned(self.catalog, stmt)
+
+    def execute_select(self, select: ast.Select, env: Dict[str, Table]) -> Table:
+        from .plan import plan_select, run_plan
+
+        return run_plan(plan_select(self.catalog, select, env), self.catalog, env)

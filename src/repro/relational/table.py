@@ -7,7 +7,7 @@ immutable in spirit: operators build new tables rather than mutating inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .errors import BindError, ExecutionError
 from .types import DataType, coerce_for_storage, format_value, infer_column_type
@@ -74,6 +74,7 @@ class Table:
         self.name = name
         self.schema = schema
         self.rows: List[Tuple[Any, ...]] = [tuple(row) for row in rows]
+        self._columns: Optional[List[List[Any]]] = None
         width = len(schema)
         for row in self.rows:
             if len(row) != width:
@@ -136,19 +137,35 @@ class Table:
 
     def column_values(self, name: str) -> List[Any]:
         idx = self.schema.index_of(name)
+        if self._columns is not None:
+            return list(self._columns[idx])
         return [row[idx] for row in self.rows]
+
+    def as_columns(self) -> List[List[Any]]:
+        """A memoized column-major view of the row storage.
+
+        Built once on first use and shared with every caller, so the
+        vectorized engine scans a table without re-pivoting it per query.
+        Callers MUST treat the returned lists as read-only (tables are
+        immutable-by-convention; operators build new columns).
+        """
+        cols = self._columns
+        if cols is None:
+            if self.rows:
+                cols = [list(values) for values in zip(*self.rows)]
+            else:
+                cols = [[] for _ in self.schema]
+            self._columns = cols
+        return cols
 
     def to_dicts(self) -> List[Dict[str, Any]]:
         names = self.column_names()
         return [dict(zip(names, row)) for row in self.rows]
 
     def to_columns(self) -> Dict[str, List[Any]]:
-        names = self.column_names()
-        cols: Dict[str, List[Any]] = {n: [] for n in names}
-        for row in self.rows:
-            for n, v in zip(names, row):
-                cols[n].append(v)
-        return cols
+        return {
+            name: list(col) for name, col in zip(self.column_names(), self.as_columns())
+        }
 
     def head(self, n: int = 5) -> "Table":
         return Table(self.name, self.schema, self.rows[:n])

@@ -36,6 +36,7 @@ from ..ir.system import IRSystem, RetrievalResult
 from ..llm.clock import SimulatedLatencyClock
 from ..llm.rule_llm import RuleLLM
 from ..relational.catalog import Database
+from ..relational.plan import PlanCache
 from .metrics import ServiceMetrics
 from .shared import SharedIndexBundle, build_shared_retriever
 
@@ -86,6 +87,12 @@ class PneumaService:
     ):
         self.lake = lake
         self.shared: SharedIndexBundle = build_shared_retriever(lake, dim=dim)
+        # One SQL plan cache for the whole service: the shared lake and
+        # every session's materialized scratch database key into it (keys
+        # are namespaced per catalog), so hit/miss counters aggregate all
+        # serving-side SQL and repeated templated queries stay warm.
+        self.sql_plan_cache = PlanCache(capacity=512)
+        self.lake.share_plan_cache(self.sql_plan_cache)
         self.knowledge = DocumentDatabase()
         # Service-level IR facade for batch_retrieve (sessions build their
         # own IRSystem over the same shared retriever + knowledge store).
@@ -137,6 +144,7 @@ class PneumaService:
             enable_web=False,
             user=user,
             retriever=self.shared.retriever,
+            plan_cache=self.sql_plan_cache,
         )
         managed = ManagedSession(session_id=session_id, session=session, user=user)
         with self._registry_lock:
@@ -212,6 +220,10 @@ class PneumaService:
         snapshot["index_size"] = len(self.shared.retriever.index)
         snapshot["caches"] = self.shared.cache_stats()
         snapshot["knowledge_entries"] = len(self.knowledge)
+        # All serving-side SQL — lake queries and every session's
+        # materialized scratch database — shares one plan cache; its
+        # hit/miss/eviction counters aggregate across sessions.
+        snapshot["sql_plan_cache"] = self.sql_plan_cache.stats()
         return snapshot
 
     # ------------------------------------------------------------------

@@ -7,6 +7,11 @@ from typing import List
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
 
+# camelCase boundary, compiled once: tokenize() sits in the narration /
+# indexing hot loop, and re.sub with a string pattern re-checks the regex
+# cache on every call.
+_CAMEL_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
 # A compact English stopword list; enough to keep BM25 scores meaningful on
 # schema narrations and questions without an external dependency.
 STOPWORDS = frozenset(
@@ -63,7 +68,7 @@ def stem(token: str) -> str:
 def tokenize(text: str, stop: bool = True, do_stem: bool = True) -> List[str]:
     """Lowercase word tokens; snake_case and camelCase split into words."""
     # Split camelCase before lowering so column names narrate well.
-    text = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", " ", text)
+    text = _CAMEL_RE.sub(" ", text)
     tokens = _TOKEN_RE.findall(text.lower())
     if stop:
         tokens = [t for t in tokens if t not in STOPWORDS]

@@ -43,3 +43,24 @@ class TestSQLExecutor:
         )
         assert all(r.ok for r in results)
         assert results[-1].table.single_value() == 12
+
+
+class TestPlanCacheWiring:
+    def test_repeated_query_hits_plan_cache(self):
+        db = make_db()
+        executor = SQLExecutor(db)
+        before = executor.plan_cache_stats()
+        for _ in range(3):
+            assert executor.execute("SELECT SUM(x) FROM t").ok
+        stats = executor.plan_cache_stats()
+        assert stats["misses"] - before["misses"] == 1
+        assert stats["hits"] - before["hits"] == 2
+
+    def test_errors_do_not_poison_the_cache(self):
+        db = make_db()
+        executor = SQLExecutor(db)
+        assert not executor.execute("SELECT ghost FROM t").ok
+        assert not executor.execute("SELECT ghost FROM t").ok
+        stats = executor.plan_cache_stats()
+        assert stats["hits"] == 0
+        assert stats["size"] == 0

@@ -183,3 +183,43 @@ class TestConcurrentClose:
             t.join()
         assert outcomes.count("closed") == 1
         assert service.stats()["sessions_closed"] == 1
+
+
+class TestSharedPlanCache:
+    def test_one_cache_serves_lake_and_sessions(self, service):
+        # The lake and every session's scratch database adopt the
+        # service-owned cache object (keys are namespaced per catalog).
+        assert service.lake._plan_cache is service.sql_plan_cache
+        sid = service.open_session(user="a")
+        managed = service._sessions[sid]
+        scratch = managed.session.state.materialized
+        assert scratch._plan_cache is service.sql_plan_cache
+        service.close_session(sid)
+
+    def test_counters_aggregate_across_sessions(self):
+        from repro.datasets import load_environment
+
+        dataset = load_environment(scale=0.02)
+        question = dataset.questions[0].text
+        with PneumaService(dataset.lake, max_workers=2) as svc:
+            first = svc.open_session(user="a")
+            second = svc.open_session(user="b")
+            svc.post_turn(first, question)
+            svc.post_turn(second, question)
+            stats = svc.stats()["sql_plan_cache"]
+            # Both sessions' Conductor turns ran their Q through the one
+            # shared cache, so the service-wide counters observed both.
+            assert stats["hits"] + stats["misses"] >= 2
+            svc.close_session(first)
+            svc.close_session(second)
+
+    def test_lake_queries_hit_the_service_cache(self, service):
+        sql = "SELECT COUNT(*) FROM purchase_orders"
+        service.lake.execute(sql)
+        service.lake.execute(sql)
+        stats = service.stats()["sql_plan_cache"]
+        assert stats["misses"] >= 1 and stats["hits"] >= 1
+
+    def test_stats_exposes_cache_counters(self, service):
+        cache = service.stats()["sql_plan_cache"]
+        assert set(cache) == {"hits", "misses", "evictions", "size", "capacity"}

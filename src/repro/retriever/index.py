@@ -7,6 +7,17 @@ The index is built for the serving layer's sharing model: mutation
 (:meth:`add` / :meth:`add_batch`) is serialized by an internal lock, and
 :meth:`freeze` makes the index immutable-after-build so any number of
 sessions can search it concurrently without coordination.
+
+:meth:`freeze` is a real compile step, not just a seal: both halves run
+their kernel compilation (impact-sorted BM25 postings with max-score
+bounds, compacted HNSW matrix with CSR links) and the fusion layer
+interns both halves' ids into one hybrid int space, so RRF accumulates
+over ints and maps back to doc_id strings only for the final top-k.
+
+``legacy=True`` builds the index over the pre-kernel halves
+(:class:`LegacyBM25Index` / :class:`LegacyHNSWIndex`) with the original
+dict-based fusion — the benchmark baseline and the ranking oracle the
+array kernel is tested against.
 """
 
 from __future__ import annotations
@@ -15,8 +26,12 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..ann.hnsw import HNSWIndex
+from ..ann.hnsw_legacy import LegacyHNSWIndex
 from ..text.bm25 import BM25Index
+from ..text.bm25_legacy import LegacyBM25Index
 from ..text.embedding import HashingEmbedder
 
 
@@ -43,18 +58,32 @@ class HybridIndex:
         vector_weight: float = 1.0,
         seed: int = 13,
         embedder=None,
+        fusion_pool: Optional[int] = None,
+        legacy: bool = False,
     ):
+        if fusion_pool is not None and fusion_pool < 1:
+            raise ValueError(f"fusion_pool must be >= 1, got {fusion_pool}")
         self.embedder = embedder if embedder is not None else HashingEmbedder(dim=dim)
-        self.bm25 = BM25Index()
-        self.vectors = HNSWIndex(
+        hnsw_cls = LegacyHNSWIndex if legacy else HNSWIndex
+        self.bm25 = LegacyBM25Index() if legacy else BM25Index()
+        self.vectors = hnsw_cls(
             dim=self.embedder.dim, metric="cosine", m=12, ef_construction=64, seed=seed
         )
         self.rrf_k = rrf_k
         self.bm25_weight = bm25_weight
         self.vector_weight = vector_weight
+        #: Fusion candidate depth per half; ``None`` keeps the adaptive
+        #: default ``max(k * 3, 10)``.  Deeper pools let lower-ranked
+        #: agreement between the halves surface at higher fusion cost.
+        self.fusion_pool = fusion_pool
+        self.legacy = legacy
         self._texts: Dict[str, str] = {}
         self._write_lock = threading.Lock()
         self._frozen = False
+        # Built by freeze() on the kernel path: hybrid int id space.
+        self._doc_list: List[str] = []
+        self._bm25_map: Optional[np.ndarray] = None  # bm25 slot -> hybrid id
+        self._vector_map: Optional[np.ndarray] = None  # hnsw node -> hybrid id
 
     # ------------------------------------------------------------------
     # Mutation
@@ -94,13 +123,31 @@ class HybridIndex:
             )
 
     def freeze(self) -> "HybridIndex":
-        """Seal the index: all further mutation raises :class:`FrozenIndexError`.
+        """Compile and seal the index: all further mutation raises
+        :class:`FrozenIndexError`.
 
+        On the kernel path this compiles both halves (impact-sorted BM25
+        postings, compacted HNSW matrix + CSR links) and interns every
+        doc into the hybrid int id space that fusion accumulates over.
         Searches on a frozen index are lock-free — the structure can no
         longer change, so concurrent readers need no coordination.
         """
         with self._write_lock:
             self._frozen = True
+            if not self.legacy and self._bm25_map is None:
+                self.bm25.compile()
+                self.vectors.compile()
+                docs = list(self._texts)
+                hybrid_of = {doc_id: i for i, doc_id in enumerate(docs)}
+                bm25_map = np.full(self.bm25.slot_count, -1, dtype=np.int64)
+                for doc_id, slot in self.bm25.slot_items():
+                    bm25_map[slot] = hybrid_of[doc_id]
+                vector_map = np.full(len(self.vectors), -1, dtype=np.int64)
+                for doc_id, node in self.vectors.node_items():
+                    vector_map[node] = hybrid_of[doc_id]
+                self._doc_list = docs
+                self._bm25_map = bm25_map
+                self._vector_map = vector_map
         return self
 
     @property
@@ -118,6 +165,21 @@ class HybridIndex:
 
     def text_of(self, doc_id: str) -> str:
         return self._texts[doc_id]
+
+    def kernel_stats(self) -> Dict[str, object]:
+        """Which kernel serves this index, and how fusion is tuned."""
+        return {
+            "kernel": "legacy" if self.legacy else "array",
+            "compiled": self._bm25_map is not None,
+            "frozen": self._frozen,
+            "fusion_pool": self.fusion_pool,
+            "docs": len(self._texts),
+        }
+
+    def _pool(self, k: int) -> int:
+        if self.fusion_pool is not None:
+            return max(self.fusion_pool, k)
+        return max(k * 3, 10)
 
     # ------------------------------------------------------------------
     # Search
@@ -144,7 +206,64 @@ class HybridIndex:
         queries = list(queries)
         if not queries:
             return []
-        pool = max(k * 3, 10)
+        if self._bm25_map is not None:
+            return self._search_batch_ids(queries, k, mode)
+        return self._search_batch_keys(queries, k, mode)
+
+    def _search_batch_ids(
+        self, queries: List[str], k: int, mode: str
+    ) -> List[List[HybridHit]]:
+        """Compiled path: both halves return rank-ordered int ids, RRF
+        accumulates over hybrid ints, and doc_id strings materialize only
+        for the final top-k."""
+        pool = self._pool(k)
+        n = len(queries)
+        empty = np.empty(0, dtype=np.int64)
+        bm25_lists: Sequence[np.ndarray] = [empty] * n
+        vector_lists: Sequence[np.ndarray] = [empty] * n
+        if mode in ("hybrid", "bm25"):
+            bm25_lists = self.bm25.search_slots(queries, k=pool)
+        if mode in ("hybrid", "vector"):
+            vectors = self.embedder.embed_batch(queries)
+            vector_lists = self.vectors.search_batch_ids(vectors, k=pool)
+
+        bm25_map, vector_map, doc_list = self._bm25_map, self._vector_map, self._doc_list
+        results: List[List[HybridHit]] = []
+        for bm25_ids, vector_ids in zip(bm25_lists, vector_lists):
+            fused: Dict[int, float] = {}
+            bm25_ranks: Dict[int, int] = {}
+            vector_ranks: Dict[int, int] = {}
+            for rank, slot in enumerate(bm25_ids.tolist()):
+                hybrid = int(bm25_map[slot])
+                bm25_ranks[hybrid] = rank
+                fused[hybrid] = fused.get(hybrid, 0.0) + self.bm25_weight / (
+                    self.rrf_k + rank + 1
+                )
+            for rank, node in enumerate(vector_ids.tolist()):
+                hybrid = int(vector_map[node])
+                vector_ranks[hybrid] = rank
+                fused[hybrid] = fused.get(hybrid, 0.0) + self.vector_weight / (
+                    self.rrf_k + rank + 1
+                )
+            ranked = sorted(fused.items(), key=lambda kv: (-kv[1], doc_list[kv[0]]))
+            results.append(
+                [
+                    HybridHit(
+                        doc_list[hybrid],
+                        score,
+                        bm25_rank=bm25_ranks.get(hybrid),
+                        vector_rank=vector_ranks.get(hybrid),
+                    )
+                    for hybrid, score in ranked[:k]
+                ]
+            )
+        return results
+
+    def _search_batch_keys(
+        self, queries: List[str], k: int, mode: str
+    ) -> List[List[HybridHit]]:
+        """Uncompiled/legacy path: the original dict-over-doc_id fusion."""
+        pool = self._pool(k)
         batch_bm25: List[Dict[str, int]] = [{} for _ in queries]
         batch_vector: List[Dict[str, int]] = [{} for _ in queries]
         if mode in ("hybrid", "bm25"):

@@ -33,11 +33,12 @@ class PneumaRetriever:
         sample_rows: int = 3,
         narration_cache: Optional[NarrationCache] = None,
         embedder=None,
+        fusion_pool: Optional[int] = None,
     ):
         self.database = database
         self.sample_rows = sample_rows
         self.narrations = narration_cache if narration_cache is not None else NarrationCache()
-        self.index = HybridIndex(dim=dim, embedder=embedder)
+        self.index = HybridIndex(dim=dim, embedder=embedder, fusion_pool=fusion_pool)
         self._narrations: Dict[str, str] = {}
         self._fingerprints: Dict[str, Tuple[str, int]] = {}
         self.build_report = self.reindex()

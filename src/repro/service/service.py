@@ -84,9 +84,12 @@ class PneumaService:
         dim: int = 192,
         llm_factory: Optional[Callable[[], RuleLLM]] = None,
         llm_latency_factor: float = 0.0,
+        fusion_pool: Optional[int] = None,
     ):
         self.lake = lake
-        self.shared: SharedIndexBundle = build_shared_retriever(lake, dim=dim)
+        self.shared: SharedIndexBundle = build_shared_retriever(
+            lake, dim=dim, fusion_pool=fusion_pool
+        )
         # One SQL plan cache for the whole service: the shared lake and
         # every session's materialized scratch database key into it (keys
         # are namespaced per catalog), so hit/miss counters aggregate all
@@ -219,6 +222,11 @@ class PneumaService:
         snapshot["open_sessions"] = self.open_session_count()
         snapshot["index_size"] = len(self.shared.retriever.index)
         snapshot["caches"] = self.shared.cache_stats()
+        # Retrieval-kernel view: which kernel serves the shared index,
+        # whether freeze() compiled it, and the fusion-depth knob — the
+        # fusion-pool/latency trade-off is tuned per service and must be
+        # observable next to the latency percentiles it moves.
+        snapshot["retrieval"] = self.shared.retriever.index.kernel_stats()
         snapshot["knowledge_entries"] = len(self.knowledge)
         # All serving-side SQL — lake queries and every session's
         # materialized scratch database — shares one plan cache; its

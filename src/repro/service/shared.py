@@ -46,6 +46,7 @@ def build_shared_retriever(
     sample_rows: int = 3,
     narrations: NarrationCache = None,
     embedder: CachedEmbedder = None,
+    fusion_pool: int = None,
 ) -> SharedIndexBundle:
     """Narrate + embed + index every table of ``lake``, then freeze.
 
@@ -62,6 +63,7 @@ def build_shared_retriever(
         sample_rows=sample_rows,
         narration_cache=narrations,
         embedder=embedder,
+        fusion_pool=fusion_pool,
     )
     retriever.freeze()
     return SharedIndexBundle(

@@ -1,16 +1,29 @@
-"""text — tokenization, BM25, and deterministic embeddings."""
+"""text — tokenization, BM25 (array kernel + legacy oracle), embeddings."""
 
 from .bm25 import BM25Hit, BM25Index
+from .bm25_legacy import LegacyBM25Index
 from .embedding import CachedEmbedder, HashingEmbedder, cosine_similarity
-from .tokenize import STOPWORDS, char_ngrams, stem, tokenize
+from .tokenize import (
+    STOPWORDS,
+    char_ngrams,
+    char_ngrams_cached,
+    stem,
+    token_cache_stats,
+    tokenize,
+    tokenize_cached,
+)
 
 __all__ = [
     "BM25Index",
+    "LegacyBM25Index",
     "BM25Hit",
     "HashingEmbedder",
     "CachedEmbedder",
     "cosine_similarity",
     "tokenize",
+    "tokenize_cached",
+    "char_ngrams_cached",
+    "token_cache_stats",
     "stem",
     "char_ngrams",
     "STOPWORDS",

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .tokenize import char_ngrams, tokenize
+from .tokenize import char_ngrams_cached, tokenize_cached
 
 
 def _hash_feature(feature: str, dim: int) -> tuple:
@@ -42,12 +42,15 @@ class HashingEmbedder:
         self.dim = dim
 
     def _features(self, text: str) -> List[tuple]:
-        words = tokenize(text)
+        # Memoized tokenization: queries re-embed every Conductor turn,
+        # and the narration/vector caches above this layer only absorb
+        # exact repeats of the *embedding*, not of the token stream.
+        words = tokenize_cached(text)
         features = [(f"w:{w}", self.WORD_WEIGHT) for w in words]
         features += [
             (f"b:{a}_{b}", self.BIGRAM_WEIGHT) for a, b in zip(words, words[1:])
         ]
-        features += [(f"c:{g}", self.CHAR_WEIGHT) for g in char_ngrams(text, 3)]
+        features += [(f"c:{g}", self.CHAR_WEIGHT) for g in char_ngrams_cached(text, 3)]
         return features
 
     def embed(self, text: str) -> np.ndarray:

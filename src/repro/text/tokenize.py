@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import re
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
 
@@ -75,6 +76,45 @@ def tokenize(text: str, stop: bool = True, do_stem: bool = True) -> List[str]:
     if do_stem:
         tokens = [stem(t) for t in tokens]
     return tokens
+
+
+#: Bound on the query-tokenization memo.  Queries repeat every Conductor
+#: turn (search / score / embed all re-tokenize the same strings), so a
+#: small LRU absorbs the hot set without growing with the corpus.
+TOKEN_CACHE_SIZE = 4096
+
+
+@lru_cache(maxsize=TOKEN_CACHE_SIZE)
+def _tokenize_cached(text: str, stop: bool, do_stem: bool) -> Tuple[str, ...]:
+    return tuple(tokenize(text, stop=stop, do_stem=do_stem))
+
+
+def tokenize_cached(text: str, stop: bool = True, do_stem: bool = True) -> Tuple[str, ...]:
+    """Memoized :func:`tokenize` for hot query strings (bounded LRU).
+
+    Returns an immutable tuple (the cached value is shared between
+    callers); identical to ``tuple(tokenize(text, ...))``.
+    """
+    return _tokenize_cached(text, stop, do_stem)
+
+
+@lru_cache(maxsize=TOKEN_CACHE_SIZE)
+def _char_ngrams_cached(text: str, n: int) -> Tuple[str, ...]:
+    return tuple(char_ngrams(text, n))
+
+
+def char_ngrams_cached(text: str, n: int = 3) -> Tuple[str, ...]:
+    """Memoized :func:`char_ngrams` (bounded LRU, shared immutable tuple)."""
+    return _char_ngrams_cached(text, n)
+
+
+def token_cache_stats() -> dict:
+    """Hit/miss/size counters of both memo layers (for service stats)."""
+    tok, grams = _tokenize_cached.cache_info(), _char_ngrams_cached.cache_info()
+    return {
+        "tokenize": {"hits": tok.hits, "misses": tok.misses, "size": tok.currsize},
+        "char_ngrams": {"hits": grams.hits, "misses": grams.misses, "size": grams.currsize},
+    }
 
 
 def char_ngrams(text: str, n: int = 3) -> List[str]:

@@ -1,0 +1,109 @@
+"""Kernel-specific BM25 behavior: interning, reverse-map removal,
+compilation, and the tokenization memo."""
+
+import pytest
+
+from repro.text import BM25Index, tokenize, tokenize_cached
+from repro.text.tokenize import TOKEN_CACHE_SIZE, token_cache_stats
+
+
+class TestRemoveReAdd:
+    def test_round_trip_matches_fresh_index(self):
+        """remove() + add() churn must leave rankings identical to an
+        index that never saw the removed content."""
+        base = [(f"d{i}", f"t{i}x alpha beta") for i in range(20)]
+        churned = BM25Index()
+        churned.add_batch(base)
+        for doc_id, text in base[5:15]:
+            churned.remove(doc_id)
+        for doc_id, text in base[5:15]:
+            churned.add(doc_id, text)
+        fresh = BM25Index()
+        # Slot numbering differs after recycling; rankings must not.
+        fresh.add_batch(base[:5] + base[15:] + base[5:15])
+        for query in ("alpha", "t7x alpha", "t3x t18x beta"):
+            got = churned.search(query, k=20)
+            want = fresh.search(query, k=20)
+            assert [(h.doc_id, h.score) for h in got] == [(h.doc_id, h.score) for h in want]
+
+    def test_remove_only_touches_own_terms(self):
+        index = BM25Index()
+        index.add("a", "alpha beta")
+        index.add("b", "gamma delta")
+        index.remove("a")
+        # a's terms are gone from the vocabulary, b's untouched.
+        assert index.search("alpha beta", k=5) == []
+        assert index.search("gamma", k=5)[0].doc_id == "b"
+        assert len(index) == 1
+
+    def test_slot_recycling_is_bounded(self):
+        index = BM25Index()
+        for round_no in range(50):
+            index.add("only", f"round {round_no} tokens here")
+            index.remove("only")
+        index.add("only", "final text")
+        assert index.slot_count <= 2  # freed slots are reused, not leaked
+
+    def test_remove_missing_raises_with_message(self):
+        with pytest.raises(KeyError, match="not indexed"):
+            BM25Index().remove("ghost")
+
+
+class TestCompile:
+    def test_compile_idempotent_and_invalidated_by_mutation(self):
+        index = BM25Index()
+        index.add("a", "alpha beta gamma")
+        index.compile()
+        assert index.compiled
+        index.compile()  # no-op
+        assert index.compiled
+        index.add("b", "alpha delta")
+        assert not index.compiled  # mutation de-compiles
+        index.compile()
+        assert index.compiled
+        index.remove("a")
+        assert not index.compiled
+
+    def test_compiled_and_lazy_paths_agree(self):
+        docs = [(f"d{i}", " ".join(f"t{j}x" for j in range(i % 7 + 1))) for i in range(60)]
+        lazy = BM25Index()
+        lazy.add_batch(docs)
+        compiled = BM25Index()
+        compiled.add_batch(docs)
+        compiled.compile()
+        for query in ("t0x", "t0x t3x t6x", "t5x t6x"):
+            assert [(h.doc_id, h.score) for h in lazy.search(query, k=30)] == [
+                (h.doc_id, h.score) for h in compiled.search(query, k=30)
+            ]
+
+    def test_search_slots_order_matches_search(self):
+        index = BM25Index()
+        index.add_batch([("b", "alpha"), ("a", "alpha"), ("c", "alpha beta")])
+        index.compile()
+        (slots,) = index.search_slots(["alpha beta"], k=3)
+        by_slot = {slot: doc for doc, slot in index.slot_items()}
+        assert [by_slot[s] for s in slots.tolist()] == [
+            h.doc_id for h in index.search("alpha beta", k=3)
+        ]
+
+    def test_empty_corpus_compile(self):
+        index = BM25Index()
+        index.compile()
+        assert index.search("anything", k=3) == []
+
+
+class TestTokenizeMemo:
+    def test_cached_matches_uncached(self):
+        for text in ("Tariff schedules", "camelCaseColumn imported_goods", ""):
+            assert list(tokenize_cached(text)) == tokenize(text)
+            assert isinstance(tokenize_cached(text), tuple)
+
+    def test_cache_is_bounded_and_counts(self):
+        stats = token_cache_stats()
+        assert set(stats) == {"tokenize", "char_ngrams"}
+        assert stats["tokenize"]["size"] <= TOKEN_CACHE_SIZE
+        before = token_cache_stats()["tokenize"]
+        tokenize_cached("a phrase the memo has definitely seen by now")
+        tokenize_cached("a phrase the memo has definitely seen by now")
+        after = token_cache_stats()["tokenize"]
+        assert after["hits"] > before["hits"]

@@ -1,0 +1,211 @@
+"""Sketch-based discovery vs. exact pairwise comparison, with planted truth.
+
+The claim under test (ROADMAP: sketch-based discovery & preparation):
+
+1. Column-sketch discovery (:mod:`repro.prep`) finds join candidates
+   >= 10x faster than exact pairwise distinct-set comparison on a
+   synthetic catalog large enough for the quadratic pair cost to bite
+   (256 tables, ~1.7k columns).
+2. It is not buying speed with recall: every planted FK->PK join is
+   recovered by the sketch path (100% of the generator's ground truth),
+   and the warm path — profiles fingerprint-cached in the ProfileStore,
+   candidates keyed by (lake version, store version) — rediscovers in
+   milliseconds with zero profile rebuilds.
+
+Writes ``BENCH_prep_pipeline.json`` (timings + recovery + store
+counters) next to the repo root so CI can archive the perf trajectory.
+Also runnable standalone:
+
+    PYTHONPATH=src python benchmarks/bench_prep_pipeline.py --smoke
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets.generator import build_planted_catalog
+from repro.prep import (
+    PreparationPipeline,
+    candidate_keys,
+    exact_join_candidates,
+)
+
+#: Catalog scales: paper-adjacent (default) and CI smoke.  At full scale
+#: the exact baseline's quadratic pair cost dominates — which is exactly
+#: the regime sketches exist for.
+FULL_TABLES = 256
+FULL_ROWS = 2_000
+SMOKE_TABLES = 8
+SMOKE_ROWS = 300
+
+#: Acceptance floors at full scale (smoke only proves the path runs and
+#: recovery holds — tiny N cannot show a stable speedup).
+SPEEDUP_FLOOR = 10.0
+RECOVERY_FLOOR = 1.0  # all planted joins, both scales
+
+
+def run_discovery(n_tables: int, rows: int, seed: int = 11, reps: int = 1) -> dict:
+    """Time cold sketch discovery vs. the exact baseline on one catalog."""
+    lake, planted = build_planted_catalog(seed=seed, n_tables=n_tables, rows=rows)
+    for table in lake.tables():
+        table.as_columns()  # warm the memoized pivots so both paths start equal
+
+    sketch_seconds = float("inf")
+    pipeline = None
+    for _ in range(max(reps, 1)):
+        pipeline = PreparationPipeline(lake)  # fresh store: a cold run
+        started = time.perf_counter()
+        sketch_candidates = pipeline.join_candidates()
+        sketch_seconds = min(sketch_seconds, time.perf_counter() - started)
+
+    started = time.perf_counter()
+    exact_candidates = exact_join_candidates(lake)
+    exact_seconds = time.perf_counter() - started
+
+    sketch_keys = candidate_keys(sketch_candidates)
+    exact_keys = candidate_keys(exact_candidates)
+    recovered = sum(1 for p in planted if p in sketch_keys)
+    exact_recovered = sum(1 for p in planted if p in exact_keys)
+
+    # Warm path: unchanged lake, warm store -> pure cache reads.
+    store_before = pipeline.store.stats()
+    started = time.perf_counter()
+    warm_candidates = pipeline.join_candidates()
+    warm_seconds = time.perf_counter() - started
+    store_after = pipeline.store.stats()
+
+    return {
+        "n_tables": n_tables,
+        "rows": rows,
+        "n_columns": sum(len(t.schema) for t in lake.tables()),
+        "sketch_seconds": sketch_seconds,
+        "exact_seconds": exact_seconds,
+        "speedup": exact_seconds / max(sketch_seconds, 1e-9),
+        "warm_seconds": warm_seconds,
+        "planted": len(planted),
+        "recovered": recovered,
+        "recovery": recovered / len(planted) if planted else 1.0,
+        "exact_recovered": exact_recovered,
+        "sketch_candidates": len(sketch_candidates),
+        "exact_candidates": len(exact_candidates),
+        "warm_candidates": len(warm_candidates),
+        "profile_store": store_after,
+        "warm_misses": store_after["misses"] - store_before["misses"],
+        "pipeline": pipeline.stats(),
+    }
+
+
+def report(label: str, r: dict) -> None:
+    print()
+    print(f"Prep pipeline ({label}):")
+    print(
+        f"  catalog      {r['n_tables']} tables, {r['rows']} rows each "
+        f"({r['n_columns']} columns)"
+    )
+    print(
+        f"  discovery    sketch {r['sketch_seconds'] * 1000:8.1f} ms   "
+        f"exact {r['exact_seconds'] * 1000:8.1f} ms   "
+        f"speedup {r['speedup']:5.1f}x"
+    )
+    print(
+        f"  recovery     {r['recovered']}/{r['planted']} planted joins "
+        f"(exact baseline: {r['exact_recovered']}/{r['planted']})"
+    )
+    print(
+        f"  warm path    {r['warm_seconds'] * 1000:8.2f} ms   "
+        f"({r['warm_misses']} profile rebuilds; store "
+        f"{r['profile_store']['hits']} hits / {r['profile_store']['misses']} misses)"
+    )
+
+
+def write_json(label: str, r: dict, path: Path) -> None:
+    payload = {"benchmark": "prep_pipeline", "mode": label, "discovery": r}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  wrote {path}")
+
+
+def _assert_recovery(r: dict) -> None:
+    assert r["recovery"] >= RECOVERY_FLOOR, (
+        f"sketch discovery recovered {r['recovered']}/{r['planted']} planted joins"
+    )
+    assert r["exact_recovered"] == r["planted"], (
+        "exact baseline must recover every planted join (generator contract)"
+    )
+    assert r["warm_misses"] == 0, (
+        f"warm rediscovery rebuilt {r['warm_misses']} profiles; "
+        "fingerprint cache should have absorbed all of them"
+    )
+    assert r["warm_candidates"] == r["sketch_candidates"]
+
+
+def _assert_speedup(r: dict) -> None:
+    assert r["speedup"] >= SPEEDUP_FLOOR, (
+        f"expected >= {SPEEDUP_FLOOR}x over exact pairwise comparison, "
+        f"got {r['speedup']:.1f}x"
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+@pytest.mark.smoke
+def test_smoke_prep_pipeline():
+    """Tiny-N smoke: discovery runs, recovery is total, JSON is emitted."""
+    r = run_discovery(SMOKE_TABLES, SMOKE_ROWS)
+    report("smoke", r)
+    write_json("smoke", r, Path("BENCH_prep_pipeline.json"))
+    _assert_recovery(r)
+
+
+def test_prep_pipeline_speedup(benchmark):
+    """Full scale: >= 10x over exact comparison, all planted joins found."""
+    r = run_discovery(FULL_TABLES, FULL_ROWS, reps=2)
+    report(f"{FULL_TABLES} tables", r)
+    write_json("full", r, Path("BENCH_prep_pipeline.json"))
+    _assert_recovery(r)
+    _assert_speedup(r)
+    lake, _ = build_planted_catalog(seed=11, n_tables=SMOKE_TABLES, rows=SMOKE_ROWS)
+    benchmark(lambda: PreparationPipeline(lake).join_candidates())
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny N, finishes in seconds")
+    parser.add_argument("--tables", type=int, default=None, help="catalog table count")
+    parser.add_argument("--rows", type=int, default=None, help="rows per table")
+    parser.add_argument(
+        "--json", type=Path, default=Path("BENCH_prep_pipeline.json"),
+        help="where to write the results JSON",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        n_tables = args.tables if args.tables is not None else SMOKE_TABLES
+        rows = args.rows if args.rows is not None else SMOKE_ROWS
+        label = "smoke"
+    else:
+        n_tables = args.tables if args.tables is not None else FULL_TABLES
+        rows = args.rows if args.rows is not None else FULL_ROWS
+        label = f"{n_tables} tables"
+    if n_tables < 2 or rows < 10:
+        parser.error("--tables must be >= 2 and --rows >= 10")
+
+    r = run_discovery(n_tables, rows, reps=1 if args.smoke else 2)
+    report(label, r)
+    write_json(label, r, args.json)
+    _assert_recovery(r)
+    if not args.smoke and n_tables >= FULL_TABLES:
+        _assert_speedup(r)
+        print(f"OK: >= {SPEEDUP_FLOOR:.0f}x over exact pairwise comparison")
+    elif args.smoke:
+        print("note: the speedup floor is asserted only at full scale")
+
+
+if __name__ == "__main__":
+    main()

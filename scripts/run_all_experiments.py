@@ -10,7 +10,11 @@ run the same experiments faster on proportionally smaller lakes.
 """
 
 import argparse
+import os
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 from repro.baselines import (
     DSGuruRunner,
@@ -91,6 +95,22 @@ def main() -> None:
     # --------------------------------------------------------------- Table 2
     cost_rows = [evaluate_costs(d, max_turns=15) for d in datasets]
     print(render_table2(cost_rows))
+    print()
+
+    # ------------------------------------------- Prep-pipeline discovery
+    # The sketch-vs-exact discovery benchmark (smoke at reduced scale,
+    # full planted-catalog scale with --full-table1); writes
+    # BENCH_prep_pipeline.json like a standalone run.
+    repo_root = Path(__file__).resolve().parent.parent
+    bench = repo_root / "benchmarks" / "bench_prep_pipeline.py"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(repo_root / "src"), env.get("PYTHONPATH")) if p
+    )
+    bench_args = [sys.executable, str(bench)]
+    if not args.full_table1:
+        bench_args.append("--smoke")
+    subprocess.run(bench_args, check=True, env=env, cwd=repo_root)
     print()
 
     print(f"All experiments finished in {time.time() - started:.1f}s")

@@ -5,12 +5,19 @@ integration needs — the target spec, the interpreted plan, the retrieved
 documents — never the orchestration context.  It asks its LLM for a
 pipeline program, runs it through the Python-interpreter tool, and feeds
 errors back for repair, up to a bounded number of attempts.
+
+When a :class:`~repro.prep.pipeline.PreparationPipeline` is attached,
+specs the alignment compiler can serve losslessly — pure column
+selection plus discovered/hinted equi-joins, no filters or transforms —
+are seeded directly from a compiled preparation plan, skipping the LLM
+loop entirely.  Anything the compiler rejects falls through to the
+generate/repair loop unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
 
 from ..llm.clock import TOOL_CALL_SECONDS
 from ..llm.prompts import parse_response, render_prompt
@@ -19,6 +26,13 @@ from ..relational.catalog import Database
 from ..relational.table import Table
 from .interpreter import InterpreterError, PipelineInterpreter
 from .state import SharedState, TargetTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..prep.pipeline import PreparationPipeline
+
+#: Interpreted-plan keys whose presence means the LLM loop must run: the
+#: alignment compiler only guarantees column selection + equi-joins.
+_LOOP_ONLY_PLAN_KEYS = ("filters", "order_column", "interpolate", "join")
 
 
 @dataclass
@@ -29,6 +43,8 @@ class MaterializationOutcome:
     error: Optional[str] = None
     attempts: int = 0
     programs: List[List[Dict[str, Any]]] = field(default_factory=list)
+    seeded: bool = False  # produced by a compiled preparation plan, no LLM
+    plan_sql: Optional[str] = None  # the compiled SQL when seeded
 
     @property
     def ok(self) -> bool:
@@ -40,10 +56,17 @@ class Materializer:
 
     MAX_ATTEMPTS = 3
 
-    def __init__(self, llm: RuleLLM, source: Database, state: SharedState):
+    def __init__(
+        self,
+        llm: RuleLLM,
+        source: Database,
+        state: SharedState,
+        prep: Optional["PreparationPipeline"] = None,
+    ):
         self.llm = llm
         self.source = source
         self.state = state
+        self.prep = prep
         self.interpreter = PipelineInterpreter(source)
 
     def materialize(
@@ -53,6 +76,10 @@ class Materializer:
         docs: List[Mapping[str, Any]],
         note: str = "",
     ) -> MaterializationOutcome:
+        if self._seedable(spec, plan):
+            seeded = self._seed(spec)
+            if seeded is not None:
+                return seeded
         outcome = MaterializationOutcome()
         error = ""
         previous: Optional[List[Dict[str, Any]]] = None
@@ -93,3 +120,37 @@ class Materializer:
             return outcome
         outcome.error = error
         return outcome
+
+    # ------------------------------------------------------------------
+    # Seeded path (compiled preparation plans)
+    # ------------------------------------------------------------------
+    def _seedable(self, spec: TargetTable, plan: Optional[Mapping[str, Any]]) -> bool:
+        """Whether the spec is within the alignment compiler's guarantees.
+
+        Deliberately conservative: any interpreted-plan feature the
+        compiler does not model (filters, ordering, interpolation, an
+        explicit join recipe) or any non-join integration hint keeps the
+        LLM loop in charge, so seeded and unseeded materializations are
+        behaviorally identical where they overlap.
+        """
+        if self.prep is None:
+            return False
+        if set(spec.integration) - {"join"}:
+            return False
+        if plan and any(plan.get(key) for key in _LOOP_ONLY_PLAN_KEYS):
+            return False
+        return True
+
+    def _seed(self, spec: TargetTable) -> Optional[MaterializationOutcome]:
+        """Try the compiled preparation plan; None falls back to the loop."""
+        from ..prep.align import AlignmentError  # local: avoids a core<->prep cycle
+
+        assert self.prep is not None
+        try:
+            prep_plan, table = self.prep.prepare(spec)
+        except AlignmentError:
+            return None
+        self.state.record_materialized(table)
+        return MaterializationOutcome(
+            table=table, attempts=0, seeded=True, plan_sql=prep_plan.sql
+        )

@@ -69,6 +69,7 @@ class SeekerSession:
         user: str = "",
         retriever: Optional[PneumaRetriever] = None,
         plan_cache=None,
+        prep=None,
     ):
         self.lake = lake
         self.llm = llm or build_seeker_llm()
@@ -88,7 +89,10 @@ class SeekerSession:
         # the Conductor re-runs templated Q every turn, and warm plans
         # skip parse+bind+plan entirely.
         self.state = SharedState(plan_cache=plan_cache)
-        self.materializer = Materializer(self.llm, lake, self.state)
+        # prep (when service-provided) is the shared sketch-based
+        # preparation pipeline: specs it can compile are seeded from the
+        # lake directly and skip the LLM materialization loop.
+        self.materializer = Materializer(self.llm, lake, self.state, prep=prep)
         self.conductor = Conductor(self.llm, self.ir, self.state, self.materializer)
         self.user = user
         self.responses: List[SeekerResponse] = []

@@ -1,0 +1,49 @@
+"""prep — sketch-based discovery and preparation over the catalog.
+
+The paper's "automate discovery, guide preparation" made concrete:
+
+* :mod:`repro.prep.sketches` — per-column MinHash + HyperLogLog sketches;
+* :mod:`repro.prep.profile` — column/table profiles (sketches + statistics);
+* :mod:`repro.prep.store` — the fingerprint-keyed, versioned ProfileStore;
+* :mod:`repro.prep.discovery` — join/union candidate ranking over sketches;
+* :mod:`repro.prep.align` — the alignment compiler (reified need -> SQL);
+* :mod:`repro.prep.pipeline` — the facade the service and sessions use.
+"""
+
+from .align import AlignmentCompiler, AlignmentError, JoinEdge, PreparationPlan
+from .discovery import (
+    JoinCandidate,
+    UnionCandidate,
+    candidate_keys,
+    discover_join_candidates,
+    discover_union_candidates,
+    exact_join_candidates,
+)
+from .pipeline import PreparationPipeline
+from .profile import ColumnProfile, TableProfile, profile_column, profile_table, type_family
+from .sketches import ColumnSketch, encode_values, exact_containment, exact_jaccard
+from .store import ProfileStore
+
+__all__ = [
+    "AlignmentCompiler",
+    "AlignmentError",
+    "ColumnProfile",
+    "ColumnSketch",
+    "JoinCandidate",
+    "JoinEdge",
+    "PreparationPipeline",
+    "PreparationPlan",
+    "ProfileStore",
+    "TableProfile",
+    "UnionCandidate",
+    "candidate_keys",
+    "discover_join_candidates",
+    "discover_union_candidates",
+    "encode_values",
+    "exact_containment",
+    "exact_jaccard",
+    "exact_join_candidates",
+    "profile_column",
+    "profile_table",
+    "type_family",
+]

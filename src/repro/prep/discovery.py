@@ -1,0 +1,248 @@
+"""Join/union candidate discovery over column sketches.
+
+The sketch path never touches row data: candidate enumeration compares
+MinHash signatures (stacked into one matrix per type family, so the
+pairwise slot-match counts come out of a handful of numpy matmul-shaped
+passes) and derives containment from the HLL cardinalities.  The exact
+path — full pairwise distinct-set intersection — is kept as the oracle
+and the benchmark baseline; it is what discovery would cost without
+sketches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Set, Tuple
+
+import numpy as np
+
+from ..relational.catalog import Database
+from .profile import ColumnProfile, TableProfile, type_family
+from .sketches import distinct_values
+
+
+@dataclass(frozen=True)
+class JoinCandidate:
+    """A directed join hypothesis: ``left`` (fk side) contained in ``right``."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+    jaccard: float
+    containment: float  # est. |left n right| / |left|
+    key_cardinality: float = 0.0  # est. distinct count of the smaller side
+
+    @property
+    def score(self) -> float:
+        return self.containment
+
+    def key(self) -> Tuple[str, str, str, str]:
+        return (self.left_table, self.left_column, self.right_table, self.right_column)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "left": f"{self.left_table}.{self.left_column}",
+            "right": f"{self.right_table}.{self.right_column}",
+            "jaccard": round(self.jaccard, 4),
+            "containment": round(self.containment, 4),
+        }
+
+
+@dataclass(frozen=True)
+class UnionCandidate:
+    """Two tables whose schemas align well enough to stack."""
+
+    left_table: str
+    right_table: str
+    column_pairs: Tuple[Tuple[str, str], ...]
+    score: float  # fraction of columns aligned, weighted by name/type match
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "left": self.left_table,
+            "right": self.right_table,
+            "columns": [list(pair) for pair in self.column_pairs],
+            "score": round(self.score, 4),
+        }
+
+
+def _flatten(profiles: Mapping[str, TableProfile]) -> List[ColumnProfile]:
+    columns: List[ColumnProfile] = []
+    for table in profiles.values():
+        columns.extend(table.column_profiles())
+    return columns
+
+
+def discover_join_candidates(
+    profiles: Mapping[str, TableProfile],
+    min_containment: float = 0.5,
+    min_distinct: float = 2.0,
+) -> List[JoinCandidate]:
+    """Rank cross-table column pairs by estimated containment.
+
+    Columns are grouped by type family and their signatures stacked into
+    one ``(n, k)`` matrix; slot-match counts for all pairs fall out of a
+    single broadcasted comparison per family.  Emits one candidate per
+    *direction* whose containment clears ``min_containment``, sorted by
+    containment then Jaccard (descending).
+    """
+    by_family: Dict[str, List[ColumnProfile]] = {}
+    for column in _flatten(profiles):
+        if column.family == "null" or column.sketch.is_empty():
+            continue
+        if column.distinct_estimate < min_distinct:
+            continue
+        by_family.setdefault(column.family, []).append(column)
+
+    candidates: List[JoinCandidate] = []
+    for columns in by_family.values():
+        n = len(columns)
+        if n < 2:
+            continue
+        signatures = np.stack([c.sketch.dense_signature() for c in columns])  # (n, k)
+        k = signatures.shape[1]
+        cards = np.array([c.distinct_estimate for c in columns])
+        ids: Dict[str, int] = {}
+        table_ids = np.array(
+            [ids.setdefault(c.table, len(ids)) for c in columns], dtype=np.int64
+        )  # same-table pairs are never join candidates
+        # Sparse slot-match counting instead of the dense (n, n, k)
+        # comparison: per signature slot, group columns by slot value and
+        # count co-occurrences.  Disjoint columns never share a slot
+        # value, so the work is ~k sorts plus a few increments per
+        # genuinely-overlapping pair — near-linear in n, and identical in
+        # output to the dense compare (uncounted pairs have Jaccard 0).
+        pair_counts: Counter = Counter()
+        for s in range(k):
+            order = np.argsort(signatures[:, s], kind="stable")
+            sv = signatures[order, s]
+            bounds = np.flatnonzero(np.diff(sv)) + 1
+            starts = np.r_[0, bounds]
+            ends = np.r_[bounds, n]
+            for r in np.flatnonzero(ends - starts >= 2):
+                group = np.sort(order[starts[r] : ends[r]]).tolist()
+                for x in range(len(group)):
+                    gx = group[x]
+                    for gy in group[x + 1 :]:
+                        pair_counts[(gx, gy)] += 1
+        if not pair_counts:
+            continue
+        idx = np.array(list(pair_counts), dtype=np.int64)  # (pairs, 2)
+        counts = np.array(list(pair_counts.values()), dtype=np.float64)
+        jaccards = counts / float(k)
+        ci, cj = cards[idx[:, 0]], cards[idx[:, 1]]
+        inter = np.clip(jaccards / (1.0 + jaccards) * (ci + cj), 0.0, np.minimum(ci, cj))
+        cross = table_ids[idx[:, 0]] != table_ids[idx[:, 1]]
+        for li, ri, card in ((0, 1, ci), (1, 0, cj)):
+            with np.errstate(divide="ignore", invalid="ignore"):
+                containment = np.where(card > 0, np.minimum(1.0, inter / card), 0.0)
+            for row in np.flatnonzero(cross & (containment >= min_containment)):
+                left, right = columns[idx[row, li]], columns[idx[row, ri]]
+                candidates.append(
+                    JoinCandidate(
+                        left_table=left.table,
+                        left_column=left.name,
+                        right_table=right.table,
+                        right_column=right.name,
+                        jaccard=float(jaccards[row]),
+                        containment=float(containment[row]),
+                        key_cardinality=float(min(ci[row], cj[row])),
+                    )
+                )
+    candidates.sort(key=lambda c: (-c.containment, -c.jaccard, c.key()))
+    return candidates
+
+
+def discover_union_candidates(
+    profiles: Mapping[str, TableProfile], min_score: float = 0.6
+) -> List[UnionCandidate]:
+    """Rank table pairs by schema alignment (name + type-family matches)."""
+    tables = sorted(profiles.values(), key=lambda t: t.name)
+    candidates: List[UnionCandidate] = []
+    for i in range(len(tables)):
+        for j in range(i + 1, len(tables)):
+            left, right = tables[i], tables[j]
+            pairs: List[Tuple[str, str]] = []
+            for column in left.column_profiles():
+                if right.has_column(column.name):
+                    other = right.column(column.name)
+                    if type_family(column.dtype) == type_family(other.dtype):
+                        pairs.append((column.name, other.name))
+            width = max(len(left.columns), len(right.columns))
+            score = len(pairs) / width if width else 0.0
+            if score >= min_score:
+                candidates.append(
+                    UnionCandidate(
+                        left_table=left.name,
+                        right_table=right.name,
+                        column_pairs=tuple(pairs),
+                        score=score,
+                    )
+                )
+    candidates.sort(key=lambda c: (-c.score, c.left_table, c.right_table))
+    return candidates
+
+
+# ----------------------------------------------------------------------
+# Exact baseline (oracle + the cost sketches avoid)
+# ----------------------------------------------------------------------
+def exact_join_candidates(
+    lake: Database, min_containment: float = 0.5, min_distinct: int = 2
+) -> List[JoinCandidate]:
+    """The same candidate enumeration via exact pairwise set comparison.
+
+    Materializes every column's distinct-value set and intersects all
+    cross-table same-family pairs — the quadratic cost the sketch path
+    replaces.  Kept as the benchmark baseline and equivalence oracle.
+    """
+    columns: List[Tuple[str, str, str, Set[Any]]] = []  # (table, column, family, values)
+    for table in lake.tables():
+        for column in table.schema:
+            family = type_family(column.dtype)
+            if family == "null":
+                continue
+            values = distinct_values(table.column_values(column.name))
+            # Mirror the sketch path's numeric coalescing (2 == 2.0).
+            if family == "numeric":
+                values = {float(v) if isinstance(v, (int, bool)) else v for v in values}
+            if len(values) < min_distinct:
+                continue
+            columns.append((table.name, column.name, family, values))
+
+    candidates: List[JoinCandidate] = []
+    for i in range(len(columns)):
+        ti, ci, fi, vi = columns[i]
+        for j in range(i + 1, len(columns)):
+            tj, cj, fj, vj = columns[j]
+            if ti == tj or fi != fj:
+                continue
+            inter = len(vi & vj)
+            if not inter:
+                continue
+            union = len(vi) + len(vj) - inter
+            jac = inter / union if union else 0.0
+            for (lt, lc, lv), (rt, rc, _) in (
+                ((ti, ci, vi), (tj, cj, vj)),
+                ((tj, cj, vj), (ti, ci, vi)),
+            ):
+                containment = inter / len(lv) if lv else 0.0
+                if containment >= min_containment:
+                    candidates.append(
+                        JoinCandidate(
+                            left_table=lt,
+                            left_column=lc,
+                            right_table=rt,
+                            right_column=rc,
+                            jaccard=jac,
+                            containment=containment,
+                            key_cardinality=float(min(len(vi), len(vj))),
+                        )
+                    )
+    candidates.sort(key=lambda c: (-c.containment, -c.jaccard, c.key()))
+    return candidates
+
+
+def candidate_keys(candidates: Iterable[JoinCandidate]) -> Set[Tuple[str, str, str, str]]:
+    return {c.key() for c in candidates}

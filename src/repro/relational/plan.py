@@ -908,6 +908,25 @@ def plan_select(catalog, select: ast.Select, env: Optional[Dict[str, Table]] = N
     return Planner(catalog, env).plan(select)
 
 
+def compile_select(catalog, sql: str) -> SelectPlan:
+    """Parse, bind, and plan one SELECT statement against ``catalog``.
+
+    The plan-construction entry point for callers that synthesize SQL
+    programmatically (the prep pipeline's alignment compiler): binding
+    errors — unknown tables, missing columns — surface here, at compile
+    time, without executing anything.  The returned plan is immutable and
+    can be cached or run repeatedly via :func:`run_plan`.
+    """
+    from .parser import parse  # local import: parser pulls in no planner state
+
+    stmt = parse(sql)
+    if not isinstance(stmt, ast.Select):
+        raise ExecutionError(
+            f"compile_select expects a SELECT, got {type(stmt).__name__}"
+        )
+    return plan_select(catalog, stmt)
+
+
 def run_plan(plan: SelectPlan, catalog, env: Optional[Dict[str, Table]] = None) -> Table:
     """Execute a planned SELECT with fresh per-execution state."""
     ctx = ExecContext(catalog, env)

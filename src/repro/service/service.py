@@ -35,6 +35,8 @@ from ..ir.docdb import DocumentDatabase
 from ..ir.system import IRSystem, RetrievalResult
 from ..llm.clock import SimulatedLatencyClock
 from ..llm.rule_llm import RuleLLM
+from ..prep.pipeline import PreparationPipeline
+from ..prep.store import ProfileStore
 from ..relational.catalog import Database
 from ..relational.plan import PlanCache
 from .metrics import ServiceMetrics
@@ -96,6 +98,15 @@ class PneumaService:
         # serving-side SQL and repeated templated queries stay warm.
         self.sql_plan_cache = PlanCache(capacity=512)
         self.lake.share_plan_cache(self.sql_plan_cache)
+        # One sketch-based preparation pipeline per service: column
+        # profiles (MinHash + HLL + stats) for the whole catalog are built
+        # once here, fingerprint-keyed in a versioned ProfileStore (the
+        # NarrationCache idiom), so every session opens against warm
+        # profiles and discovered join candidates — "sessions start
+        # seeded".
+        self.profile_store = ProfileStore()
+        self.prep = PreparationPipeline(lake, store=self.profile_store)
+        self.prep.join_candidates()  # eager: profile + discover at build time
         self.knowledge = DocumentDatabase()
         # Service-level IR facade for batch_retrieve (sessions build their
         # own IRSystem over the same shared retriever + knowledge store).
@@ -148,6 +159,7 @@ class PneumaService:
             user=user,
             retriever=self.shared.retriever,
             plan_cache=self.sql_plan_cache,
+            prep=self.prep,
         )
         managed = ManagedSession(session_id=session_id, session=session, user=user)
         with self._registry_lock:
@@ -232,6 +244,11 @@ class PneumaService:
         # materialized scratch database — shares one plan cache; its
         # hit/miss/eviction counters aggregate across sessions.
         snapshot["sql_plan_cache"] = self.sql_plan_cache.stats()
+        # The preparation pipeline's accounting: profile-store hit/miss
+        # (fingerprint cache, NarrationCache idiom) plus discovery and
+        # seeded-materialization counters.
+        snapshot["profile_store"] = self.profile_store.stats()
+        snapshot["prep"] = self.prep.stats()
         return snapshot
 
     # ------------------------------------------------------------------

@@ -1,0 +1,342 @@
+"""Serving resilience under injected faults: goodput, shedding, reindex.
+
+The fault-tolerance claims under test (ROADMAP's serving north star):
+
+1. **Goodput** — under a seeded 10% LLM fault rate, retry + circuit
+   breaking keeps >= 90% of turns succeeding; the same schedule with
+   retries disabled shows why (every scheduled fault becomes a failed
+   turn).
+2. **Admission control** — overload sheds instead of queueing: with a
+   small pending-turn bound, excess turns fail fast with
+   ``ServiceOverloaded`` and the pending queue never exceeds its bound.
+3. **Zero-downtime reindex** — snapshot-swap reindexing mid-traffic
+   fails no turns, and a table added to the lake becomes retrievable.
+4. **Bit-transparency** — a no-fault :class:`FaultPlan` is the oracle:
+   the wrapped service produces byte-identical responses to an unwrapped
+   one.
+
+Writes ``BENCH_resilience.json``.  Also runnable standalone:
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --smoke
+"""
+
+import argparse
+import json
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import build_procurement_lake
+from repro.relational.table import Table
+from repro.service import (
+    FaultPlan,
+    FaultSpec,
+    PneumaService,
+    ResilienceConfig,
+    RetryPolicy,
+    ServiceOverloaded,
+)
+
+CONVERSATION = [
+    "What is the total purchase order cost impact of the new tariffs by supplier?",
+    "Now restrict it to orders from ACME.",
+]
+
+GOODPUT_FLOOR = 0.90
+FAULT_RATE = 0.10
+FAULT_SEED = 20260807
+
+
+# ----------------------------------------------------------------------
+# Scenario 1: goodput under a seeded 10% LLM fault rate
+# ----------------------------------------------------------------------
+def run_faulted_workload(lake, sessions: int, retries: bool) -> dict:
+    """Drive the standard conversation under injected LLM faults."""
+    plan = FaultPlan(seed=FAULT_SEED, llm=FaultSpec(rate=FAULT_RATE))
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=3 if retries else 1, base_delay_seconds=0.1)
+    )
+    attempted = 0
+    succeeded = 0
+    started = time.perf_counter()
+    with PneumaService(lake, max_workers=8, resilience=resilience, fault_plan=plan) as service:
+        session_ids = [service.open_session(user=f"u{i}") for i in range(sessions)]
+        for message in CONVERSATION:
+            futures = [(sid, service.post_turn(sid, message, wait=False)) for sid in session_ids]
+            for _sid, future in futures:
+                attempted += 1
+                try:
+                    future.result()
+                    succeeded += 1
+                except Exception:  # noqa: BLE001 - failed turns are the datum
+                    pass
+        stats = service.stats()
+    return {
+        "sessions": sessions,
+        "attempted": attempted,
+        "succeeded": succeeded,
+        "goodput": succeeded / attempted,
+        "retries": stats["retries"],
+        "turns_failed": stats["turns_failed"],
+        "llm_faults": stats["faults"].get("llm", {}).get("faults", 0),
+        "llm_calls": stats["faults"].get("llm", {}).get("calls", 0),
+        "elapsed": time.perf_counter() - started,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario 2: overload sheds instead of queueing
+# ----------------------------------------------------------------------
+def run_overload(lake, sessions: int, max_pending: int) -> dict:
+    """Fire every turn at once against a small admission bound."""
+    resilience = ResilienceConfig(max_pending_turns=max_pending)
+    with PneumaService(
+        lake, max_workers=2, llm_latency_factor=3e-3, resilience=resilience
+    ) as service:
+        session_ids = [service.open_session(user=f"u{i}") for i in range(sessions)]
+        futures = []
+        shed = 0
+        for sid in session_ids:
+            try:
+                futures.append(service.post_turn(sid, CONVERSATION[0], wait=False))
+            except ServiceOverloaded:
+                shed += 1
+        for future in futures:
+            future.result()
+        stats = service.stats()
+    return {
+        "offered": sessions,
+        "admitted": len(futures),
+        "shed": shed,
+        "peak_pending": stats["admission"]["peak_pending_turns"],
+        "max_pending": max_pending,
+        "turns_shed": stats["turns_shed"],
+        "p99_seconds": stats["turn_p99_seconds"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario 3: snapshot-swap reindex under live traffic
+# ----------------------------------------------------------------------
+def run_reindex_under_traffic(lake, sessions: int, swaps: int) -> dict:
+    with PneumaService(lake, max_workers=4) as service:
+        session_ids = [service.open_session(user=f"u{i}") for i in range(sessions)]
+        stop = threading.Event()
+        errors = []
+        served = [0] * len(session_ids)
+
+        def chatter(slot: int, sid: str):
+            while not stop.is_set():
+                try:
+                    service.post_turn(sid, CONVERSATION[0])
+                    served[slot] += 1
+                except Exception as exc:  # noqa: BLE001 - the datum
+                    errors.append(repr(exc))
+                    return
+
+        threads = [
+            threading.Thread(target=chatter, args=(slot, sid))
+            for slot, sid in enumerate(session_ids)
+        ]
+        for thread in threads:
+            thread.start()
+        swap_seconds = []
+        try:
+            for i in range(swaps):
+                if i == swaps - 1:
+                    # Last swap picks up a table added mid-traffic.
+                    lake.register(
+                        Table.from_columns(
+                            "ocean_freight_shipments",
+                            {
+                                "shipment_id": [1, 2, 3],
+                                "vessel_name": ["Ever Given", "Maersk Alabama", "MSC Oscar"],
+                                "container_count": [120, 45, 300],
+                            },
+                        )
+                    )
+                report = service.reindex()
+                swap_seconds.append(report["swap_seconds"])
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=120)
+        hits = service.batch_retrieve(["ocean freight shipments by vessel"])[0].documents
+        stats = service.stats()
+    return {
+        "swaps": swaps,
+        "turns_during": sum(served),
+        "errors": errors,
+        "turns_failed": stats["turns_failed"],
+        "new_table_retrievable": any(
+            d.doc_id == "table:ocean_freight_shipments" for d in hits
+        ),
+        "max_swap_seconds": max(swap_seconds),
+        "generation": stats["index_gate"]["generation"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario 4: the no-fault plan is bit-transparent (the oracle)
+# ----------------------------------------------------------------------
+def run_transparency(sessions: int) -> dict:
+    def transcript(fault_plan):
+        # A fresh lake per run: the comparison must see identical inputs.
+        out = []
+        with PneumaService(
+            build_procurement_lake(), max_workers=4, fault_plan=fault_plan
+        ) as service:
+            session_ids = [service.open_session(user=f"u{i}") for i in range(sessions)]
+            for message in CONVERSATION:
+                for sid in session_ids:
+                    response = service.post_turn(sid, message)
+                    out.append((response.message, response.state_view, response.degraded))
+        return out
+
+    plain = transcript(None)
+    oracle = transcript(FaultPlan.none(seed=FAULT_SEED))
+    return {
+        "turns": len(plain),
+        "identical": plain == oracle,
+        "degraded_turns": sum(1 for _, _, degraded in oracle if degraded),
+    }
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def report(label: str, r: dict) -> None:
+    faulted, baseline = r["faulted"], r["no_retry_baseline"]
+    overload, reindex, oracle = r["overload"], r["reindex"], r["transparency"]
+    print()
+    print(f"Serving resilience ({label}):")
+    print(
+        f"  goodput      {faulted['goodput']:6.1%} with retries "
+        f"({faulted['succeeded']}/{faulted['attempted']} turns, "
+        f"{faulted['llm_faults']}/{faulted['llm_calls']} LLM calls faulted, "
+        f"{faulted['retries']} retries)"
+    )
+    print(
+        f"  no-retry     {baseline['goodput']:6.1%} on the same schedule "
+        f"({baseline['turns_failed']} failed turns)"
+    )
+    print(
+        f"  overload     {overload['shed']}/{overload['offered']} shed at bound "
+        f"{overload['max_pending']} (peak pending {overload['peak_pending']}, "
+        f"p99 {overload['p99_seconds'] * 1000:.1f} ms)"
+    )
+    print(
+        f"  reindex      {reindex['swaps']} swaps under {reindex['turns_during']} live turns, "
+        f"{len(reindex['errors'])} errors, max swap {reindex['max_swap_seconds'] * 1000:.1f} ms, "
+        f"new table retrievable: {reindex['new_table_retrievable']}"
+    )
+    print(
+        f"  oracle       no-fault plan bit-identical over {oracle['turns']} turns: "
+        f"{oracle['identical']}"
+    )
+
+
+def write_json(label: str, r: dict, path: Path) -> None:
+    payload = {"benchmark": "resilience", "mode": label, "results": r}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  wrote {path}")
+
+
+def _assert_criteria(r: dict) -> None:
+    faulted, baseline = r["faulted"], r["no_retry_baseline"]
+    overload, reindex, oracle = r["overload"], r["reindex"], r["transparency"]
+    assert faulted["goodput"] >= GOODPUT_FLOOR, (
+        f"goodput {faulted['goodput']:.1%} under {FAULT_RATE:.0%} LLM faults; "
+        f"floor is {GOODPUT_FLOOR:.0%}"
+    )
+    assert faulted["retries"] > 0, "the schedule injected faults, so retries must fire"
+    assert faulted["goodput"] > baseline["goodput"], (
+        "retries must beat the no-retry baseline on the same fault schedule"
+    )
+    assert overload["shed"] > 0, "overload run must actually shed turns"
+    assert overload["shed"] == overload["turns_shed"], "shed accounting must agree"
+    assert overload["peak_pending"] <= overload["max_pending"], (
+        f"pending queue reached {overload['peak_pending']}, "
+        f"bound is {overload['max_pending']}"
+    )
+    assert reindex["errors"] == [], f"reindex under traffic failed turns: {reindex['errors']}"
+    assert reindex["turns_failed"] == 0
+    assert reindex["new_table_retrievable"], "post-swap index must serve the new table"
+    assert oracle["identical"], "a no-fault FaultPlan must be bit-transparent"
+    assert oracle["degraded_turns"] == 0
+
+
+def run_all(sessions: int, swaps: int) -> dict:
+    return {
+        "faulted": run_faulted_workload(build_procurement_lake(), sessions, retries=True),
+        "no_retry_baseline": run_faulted_workload(
+            build_procurement_lake(), sessions, retries=False
+        ),
+        "overload": run_overload(build_procurement_lake(), sessions=max(sessions, 12), max_pending=4),
+        "reindex": run_reindex_under_traffic(build_procurement_lake(), sessions=4, swaps=swaps),
+        "transparency": run_transparency(sessions=2),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+@pytest.mark.smoke
+def test_smoke_resilience():
+    """Tiny-N smoke: all four resilience claims on the procurement lake."""
+    r = run_all(sessions=8, swaps=2)
+    report("smoke", r)
+    write_json("smoke", r, Path("BENCH_resilience.json"))
+    _assert_criteria(r)
+
+
+def test_resilience(benchmark):
+    """Full scale: more sessions, more swaps, plus the hot retry path."""
+    r = run_all(sessions=24, swaps=3)
+    report("24 sessions", r)
+    write_json("full", r, Path("BENCH_resilience.json"))
+    _assert_criteria(r)
+
+    # Time the faulted-but-retried serving path end to end.
+    lake = build_procurement_lake()
+    benchmark(lambda: run_faulted_workload(lake, sessions=4, retries=True))
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny N, finishes in seconds")
+    parser.add_argument("--sessions", type=int, default=None, help="faulted-workload sessions")
+    parser.add_argument(
+        "--json", type=Path, default=Path("BENCH_resilience.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        sessions = args.sessions if args.sessions is not None else 8
+        swaps = 2
+        label = "smoke"
+    else:
+        sessions = args.sessions if args.sessions is not None else 24
+        swaps = 3
+        label = f"{sessions} sessions"
+    if sessions < 2:
+        parser.error("--sessions must be >= 2")
+
+    r = run_all(sessions=sessions, swaps=swaps)
+    report(label, r)
+    write_json(label, r, args.json)
+    _assert_criteria(r)
+    print(
+        f"OK: goodput >= {GOODPUT_FLOOR:.0%} under {FAULT_RATE:.0%} faults, "
+        "bounded queue, zero-downtime reindex, bit-transparent oracle"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -113,6 +113,16 @@ def main() -> None:
     subprocess.run(bench_args, check=True, env=env, cwd=repo_root)
     print()
 
+    # ------------------------------------------------- Serving resilience
+    # Goodput under injected faults, overload shedding, zero-downtime
+    # reindex, no-fault transparency; writes BENCH_resilience.json.
+    resilience = repo_root / "benchmarks" / "bench_resilience.py"
+    resilience_args = [sys.executable, str(resilience)]
+    if not args.full_table1:
+        resilience_args.append("--smoke")
+    subprocess.run(resilience_args, check=True, env=env, cwd=repo_root)
+    print()
+
     print(f"All experiments finished in {time.time() - started:.1f}s")
 
 

@@ -43,6 +43,8 @@ class TurnLog:
     actions: List[Dict[str, Any]] = field(default_factory=list)
     reply: str = ""
     forced: bool = False
+    #: True when any retrieval this turn was served on a degraded path.
+    degraded: bool = False
 
 
 class Conductor:
@@ -87,7 +89,7 @@ class Conductor:
             log.thoughts.append(thought)
             log.actions.append(action_to_json(action))
             actions_taken.append(action.kind)
-            reply = self._execute(action)
+            reply = self._execute(action, log)
             if reply is not None:
                 log.reply = reply
                 self.turns.append(log)
@@ -100,7 +102,7 @@ class Conductor:
         log.thoughts.append(thought)
         log.actions.append(action_to_json(action))
         log.forced = True
-        reply = self._execute(action)
+        reply = self._execute(action, log)
         log.reply = reply if reply is not None else "I need another turn to make progress."
         self.turns.append(log)
         return log
@@ -130,7 +132,7 @@ class Conductor:
         return action, payload.get("thought", "")
 
     # ------------------------------------------------------------------
-    def _execute(self, action: Action) -> Optional[str]:
+    def _execute(self, action: Action, log: TurnLog) -> Optional[str]:
         """Run one action; returns the user message when the turn ends."""
         if isinstance(action, MessageUser):
             return action.message
@@ -138,6 +140,8 @@ class Conductor:
             return None
         if isinstance(action, Retrieve):
             result = self.ir.retrieve(action.query)
+            if result.degraded:
+                log.degraded = True
             self.llm.clock.tick(TOOL_CALL_SECONDS)
             for doc in result.documents:
                 self.docs[doc.doc_id] = doc.to_json()

@@ -43,6 +43,10 @@ class SeekerResponse:
     state_view: str
     answer_value: Any = None
     turn_log: Any = None
+    #: True when the turn was served on a degraded path (e.g. BM25-only
+    #: retrieval with the dense half's circuit open); the answer is best
+    #: effort rather than the full hybrid-quality response.
+    degraded: bool = False
 
     def render(self) -> str:
         return f"{self.message}\n\n{self.state_view}"
@@ -109,6 +113,7 @@ class SeekerSession:
             state_view=self.state.render(),
             answer_value=self.answer_value,
             turn_log=log,
+            degraded=log.degraded,
         )
         self.responses.append(response)
         return response

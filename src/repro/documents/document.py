@@ -23,6 +23,9 @@ class Document:
     payload: Dict[str, Any] = field(default_factory=dict)
     score: float = 0.0
     source: str = ""  # which retriever produced it
+    #: True when served by a degraded path (e.g. BM25-only because the
+    #: dense half's circuit is open); ranking may differ from healthy.
+    degraded: bool = False
 
     def brief(self, max_chars: int = 240) -> str:
         """A one-line description used in prompts and user-facing messages."""
@@ -32,7 +35,7 @@ class Document:
         return f"[{self.kind}] {self.title}: {body}"
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        data = {
             "doc_id": self.doc_id,
             "kind": self.kind,
             "title": self.title,
@@ -41,6 +44,11 @@ class Document:
             "score": self.score,
             "source": self.source,
         }
+        # Only serialized when set, so healthy-path JSON (and the prompts
+        # rendered from it) stays bit-identical to the pre-resilience code.
+        if self.degraded:
+            data["degraded"] = True
+        return data
 
     @classmethod
     def from_json(cls, data: Dict[str, Any]) -> "Document":
@@ -52,4 +60,5 @@ class Document:
             payload=data.get("payload", {}),
             score=float(data.get("score", 0.0)),
             source=data.get("source", ""),
+            degraded=bool(data.get("degraded", False)),
         )

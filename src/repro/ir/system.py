@@ -38,6 +38,12 @@ class RetrievalResult:
     def knowledge(self) -> List[Document]:
         return [d for d in self.documents if d.kind == "knowledge"]
 
+    @property
+    def degraded(self) -> bool:
+        """True when any source served this query on a degraded path
+        (e.g. BM25-only table discovery with the dense half's circuit open)."""
+        return any(d.degraded for d in self.documents)
+
 
 class IRSystem:
     """Multi-source retrieval with a uniform Document interface."""

@@ -15,16 +15,25 @@ sessions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..documents.document import Document
+from ..llm.interface import TransientDependencyError
 from ..relational.catalog import Database
 from .index import HybridIndex
 from .summarizer import NarrationCache, table_fingerprint, table_payload
 
 
 class PneumaRetriever:
-    """Hybrid (HNSW + BM25) table discovery, as in Balaka et al. [1]."""
+    """Hybrid (HNSW + BM25) table discovery, as in Balaka et al. [1].
+
+    When a ``vector_breaker`` (a serving-layer circuit breaker guarding
+    the ANN/embedding half) is configured, hybrid search degrades instead
+    of failing: a transient dense-half failure records on the breaker and
+    the query is re-served BM25-only with every document flagged
+    ``degraded=True``; while the breaker is open the dense half is skipped
+    outright, so a dead embedding service costs nothing per query.
+    """
 
     def __init__(
         self,
@@ -34,11 +43,16 @@ class PneumaRetriever:
         narration_cache: Optional[NarrationCache] = None,
         embedder=None,
         fusion_pool: Optional[int] = None,
+        vector_breaker=None,
+        on_degraded: Optional[Callable[[], None]] = None,
     ):
         self.database = database
         self.sample_rows = sample_rows
         self.narrations = narration_cache if narration_cache is not None else NarrationCache()
         self.index = HybridIndex(dim=dim, embedder=embedder, fusion_pool=fusion_pool)
+        self.vector_breaker = vector_breaker
+        self._on_degraded = on_degraded
+        self.degraded_serves = 0
         self._narrations: Dict[str, str] = {}
         self._fingerprints: Dict[str, Tuple[str, int]] = {}
         self.build_report = self.reindex()
@@ -103,8 +117,9 @@ class PneumaRetriever:
         self, queries: Sequence[str], k: int = 5, mode: str = "hybrid"
     ) -> List[List[Document]]:
         """Top-k tables for each query — N searches, one index pass."""
+        batches, degraded = self._search_index(list(queries), k, mode)
         results: List[List[Document]] = []
-        for hits in self.index.search_batch(queries, k=k, mode=mode):
+        for hits in batches:
             documents = []
             for hit in hits:
                 table = self.database.resolve_table(hit.doc_id)
@@ -117,10 +132,33 @@ class PneumaRetriever:
                         payload=table_payload(table, self.sample_rows),
                         score=hit.score,
                         source="pneuma-retriever",
+                        degraded=degraded,
                     )
                 )
             results.append(documents)
         return results
+
+    def _search_index(self, queries: List[str], k: int, mode: str) -> Tuple[list, bool]:
+        """Run the index search, degrading hybrid to BM25-only when the
+        dense half is failing.  Returns ``(per-query hits, degraded?)``."""
+        breaker = self.vector_breaker
+        if breaker is None or mode != "hybrid":
+            return self.index.search_batch(queries, k=k, mode=mode), False
+        if breaker.allow():
+            try:
+                batches = self.index.search_batch(queries, k=k, mode="hybrid")
+            except TransientDependencyError:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+                return batches, False
+        # Dense half down (circuit open, or this very call failed):
+        # lexical-only answers beat failed turns.
+        batches = self.index.search_batch(queries, k=k, mode="bm25")
+        self.degraded_serves += 1
+        if self._on_degraded is not None:
+            self._on_degraded()
+        return batches, True
 
     def column_values(self, table_name: str, column: str, limit: int = 200) -> List:
         """Distinct values of a column (the grounding hook Conductor uses).

@@ -1,26 +1,67 @@
-"""service — the concurrent Pneuma serving layer.
+"""service — the concurrent, fault-tolerant Pneuma serving layer.
 
-One shared, frozen hybrid index; many independent Seeker sessions on a
-thread pool; batched retrieval for sessionless callers.  See
-:class:`PneumaService` for the four-call API.
+One shared, frozen hybrid index behind a snapshot-swap gate; many
+independent Seeker sessions on a thread pool; batched retrieval for
+sessionless callers; admission control, deadlines, retry + circuit
+breakers, degraded retrieval, and a deterministic fault-injection
+harness.  See :class:`PneumaService` for the serving API.
 """
 
+from .faults import (
+    FaultPlan,
+    FaultSchedule,
+    FaultSpec,
+    FlakyEmbedder,
+    FlakyLLM,
+    FlakyRetriever,
+    FlakySQL,
+)
 from .metrics import ServiceMetrics, percentile
+from .resilience import (
+    CircuitBreaker,
+    DependencyUnavailable,
+    ResilienceConfig,
+    ResilientLLM,
+    RetryPolicy,
+)
 from .service import (
+    DegradedResponse,
     ManagedSession,
     PneumaService,
     ServiceError,
+    ServiceOverloaded,
     SessionSummary,
 )
-from .shared import SharedIndexBundle, build_shared_retriever
+from .shared import (
+    IndexGate,
+    SharedIndexBundle,
+    SwappableRetriever,
+    build_shared_retriever,
+)
 
 __all__ = [
     "PneumaService",
     "ServiceError",
+    "ServiceOverloaded",
     "SessionSummary",
+    "DegradedResponse",
     "ManagedSession",
     "ServiceMetrics",
     "percentile",
     "SharedIndexBundle",
+    "IndexGate",
+    "SwappableRetriever",
     "build_shared_retriever",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSchedule",
+    "FlakyLLM",
+    "FlakyEmbedder",
+    "FlakyRetriever",
+    "FlakySQL",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "ResilientLLM",
+    "ResilienceConfig",
+    "DependencyUnavailable",
 ]

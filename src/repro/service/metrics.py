@@ -1,8 +1,16 @@
 """Serving metrics: counters plus a bounded turn-latency reservoir.
 
-The throughput benchmark and the service's ``stats()`` endpoint both read
-from here.  Everything is guarded by one lock; observation is O(1) and the
-reservoir is bounded so a long-lived service cannot grow without limit.
+The throughput/resilience benchmarks and the service's ``stats()``
+endpoint both read from here.  Everything is guarded by one lock;
+observation is O(1) and the reservoir is bounded so a long-lived service
+cannot grow without limit.
+
+Beyond the happy-path counters, every failure mode the resilience layer
+handles is observable: ``turns_failed`` (exceptions escaped the turn),
+``turns_shed`` (admission control refused or a queued turn's deadline
+expired), ``turns_degraded`` (served, but on a degraded path),
+``retries``, ``degraded_retrievals``, ``reindex_swaps``, and per-edge
+circuit-breaker transition counts.
 """
 
 from __future__ import annotations
@@ -11,13 +19,12 @@ import threading
 from typing import Dict, List
 
 
-def percentile(samples: List[float], p: float) -> float:
-    """The ``p``-th percentile (0..100) by linear interpolation."""
-    if not samples:
-        return 0.0
+def _percentile_sorted(ordered: List[float], p: float) -> float:
+    """The ``p``-th percentile of an already-sorted sample list."""
     if not 0.0 <= p <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {p}")
-    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
     if len(ordered) == 1:
         return ordered[0]
     rank = (p / 100.0) * (len(ordered) - 1)
@@ -25,6 +32,16 @@ def percentile(samples: List[float], p: float) -> float:
     high = min(low + 1, len(ordered) - 1)
     frac = rank - low
     return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def percentile(samples: List[float], p: float) -> float:
+    """The ``p``-th percentile (0..100) by linear interpolation.
+
+    Sorts its input; callers computing several percentiles of one sample
+    set should sort once and use :func:`_percentile_sorted` (as
+    ``ServiceMetrics.snapshot`` does for p50/p95/p99).
+    """
+    return _percentile_sorted(sorted(samples), p)
 
 
 class ServiceMetrics:
@@ -37,6 +54,14 @@ class ServiceMetrics:
         self.sessions_closed = 0
         self.turns_served = 0
         self.batch_queries = 0
+        # Resilience accounting.
+        self.turns_failed = 0
+        self.turns_shed = 0
+        self.turns_degraded = 0
+        self.retries = 0
+        self.degraded_retrievals = 0
+        self.reindex_swaps = 0
+        self._breaker_transitions: Dict[str, int] = {}
         self._turn_seconds: List[float] = []
 
     # ------------------------------------------------------------------
@@ -60,6 +85,36 @@ class ServiceMetrics:
         with self._lock:
             self.batch_queries += n
 
+    def record_turn_failed(self) -> None:
+        with self._lock:
+            self.turns_failed += 1
+
+    def record_turn_shed(self) -> None:
+        with self._lock:
+            self.turns_shed += 1
+
+    def record_turn_degraded(self) -> None:
+        with self._lock:
+            self.turns_degraded += 1
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_degraded_retrieval(self) -> None:
+        with self._lock:
+            self.degraded_retrievals += 1
+
+    def record_reindex(self) -> None:
+        with self._lock:
+            self.reindex_swaps += 1
+
+    def record_breaker_transition(self, dependency: str, old: str, new: str) -> None:
+        """Count one circuit-breaker edge, keyed ``"llm:closed->open"``."""
+        key = f"{dependency}:{old}->{new}"
+        with self._lock:
+            self._breaker_transitions[key] = self._breaker_transitions.get(key, 0) + 1
+
     # ------------------------------------------------------------------
     def turn_latency(self, p: float) -> float:
         with self._lock:
@@ -74,8 +129,18 @@ class ServiceMetrics:
                 "sessions_closed": self.sessions_closed,
                 "turns_served": self.turns_served,
                 "batch_queries": self.batch_queries,
+                "turns_failed": self.turns_failed,
+                "turns_shed": self.turns_shed,
+                "turns_degraded": self.turns_degraded,
+                "retries": self.retries,
+                "degraded_retrievals": self.degraded_retrievals,
+                "reindex_swaps": self.reindex_swaps,
+                "breaker_transitions": dict(self._breaker_transitions),
             }
-        counts["turn_p50_seconds"] = percentile(samples, 50.0)
-        counts["turn_p95_seconds"] = percentile(samples, 95.0)
-        counts["turn_mean_seconds"] = sum(samples) / len(samples) if samples else 0.0
+        # One sort serves every percentile of this snapshot.
+        ordered = sorted(samples)
+        counts["turn_p50_seconds"] = _percentile_sorted(ordered, 50.0)
+        counts["turn_p95_seconds"] = _percentile_sorted(ordered, 95.0)
+        counts["turn_p99_seconds"] = _percentile_sorted(ordered, 99.0)
+        counts["turn_mean_seconds"] = sum(ordered) / len(ordered) if ordered else 0.0
         return counts

@@ -14,11 +14,30 @@ Concurrency model:
   across sessions;
 * a per-session lock serializes turns *within* a session, so the
   Conductor's working memory never interleaves;
-* the shared index is immutable-after-build (``freeze()``), so searches
-  need no coordination at all;
+* the shared index is immutable-after-build (``freeze()``); sessions hold
+  a :class:`SwappableRetriever` over an :class:`IndexGate`, so
+  :meth:`reindex` can build a fresh bundle in the background and
+  atomically swap it in with zero downtime;
 * the Document Database of captured knowledge is shared service-wide —
   one user's clarification accelerates every other session, the paper's
   emergent-documentation effect at serving scale.
+
+Fault model (the resilience subsystem):
+
+* **admission control** — ``post_turn`` sheds load with
+  :class:`ServiceOverloaded` once the pending-turn queue hits its bound,
+  so an overloaded service fails fast instead of queuing unboundedly;
+* **deadlines** — a turn that cannot finish (or even start) within its
+  deadline yields a structured :class:`DegradedResponse` instead of
+  hanging the caller;
+* **retry + breakers** — every session LLM is wrapped in
+  :class:`ResilientLLM` (backoff retry behind a shared per-dependency
+  circuit breaker); ``ContextLengthExceeded`` is non-retryable and
+  propagates to the caller unchanged;
+* **degraded retrieval** — when the dense half's breaker is open, table
+  discovery serves BM25-only results flagged ``degraded=True``;
+* **fault injection** — a :class:`FaultPlan` makes all of the above
+  reproducible offline; a no-fault plan is bit-transparent.
 """
 
 from __future__ import annotations
@@ -27,6 +46,7 @@ import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -39,12 +59,19 @@ from ..prep.pipeline import PreparationPipeline
 from ..prep.store import ProfileStore
 from ..relational.catalog import Database
 from ..relational.plan import PlanCache
+from .faults import FaultPlan, FlakyLLM, FlakyRetriever, derive_seed
 from .metrics import ServiceMetrics
-from .shared import SharedIndexBundle, build_shared_retriever
+from .resilience import CircuitBreaker, ResilienceConfig, ResilientLLM
+from .shared import IndexGate, SharedIndexBundle, SwappableRetriever, build_shared_retriever
 
 
 class ServiceError(RuntimeError):
     """Raised for protocol misuse: unknown/closed sessions, closed service."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control refused the turn: the pending queue is at its
+    bound.  The request was shed, not queued — retry with backoff."""
 
 
 @dataclass
@@ -71,12 +98,37 @@ class SessionSummary:
     completion_tokens: int
 
 
+@dataclass
+class DegradedResponse:
+    """A structured stand-in for a turn the service could not serve fully.
+
+    Returned (never raised) when a deadline expires: the caller gets a
+    user-presentable message and a machine-readable ``reason`` instead of
+    a hang or an opaque timeout.  When the turn is still running in the
+    background, ``pending`` carries its future so callers may still join
+    the late result.
+    """
+
+    session_id: str
+    reason: str  # 'deadline' | 'queue-deadline'
+    message: str
+    state_view: str = ""
+    answer_value: Any = None
+    turn_log: Any = None
+    degraded: bool = True
+    pending: Optional[Future] = None
+
+    def render(self) -> str:
+        return f"{self.message}\n\n{self.state_view}".rstrip()
+
+
 class PneumaService:
-    """A concurrent serving layer around Pneuma-Seeker sessions.
+    """A concurrent, fault-tolerant serving layer around Seeker sessions.
 
     The public surface is four calls — ``open_session``, ``post_turn``,
-    ``batch_retrieve``, ``close_session`` — plus ``stats()``.  Use it as a
-    context manager or call :meth:`shutdown` to release the worker pool.
+    ``batch_retrieve``, ``close_session`` — plus ``stats()`` and
+    ``reindex()``.  Use it as a context manager or call :meth:`shutdown`
+    (``drain=True`` to close and summarize surviving sessions first).
     """
 
     def __init__(
@@ -87,11 +139,32 @@ class PneumaService:
         llm_factory: Optional[Callable[[], RuleLLM]] = None,
         llm_latency_factor: float = 0.0,
         fusion_pool: Optional[int] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.lake = lake
-        self.shared: SharedIndexBundle = build_shared_retriever(
-            lake, dim=dim, fusion_pool=fusion_pool
-        )
+        self._dim = dim
+        self._fusion_pool = fusion_pool
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self.fault_plan = fault_plan
+        self.metrics = ServiceMetrics()
+        cfg = self.resilience
+        self.breakers: Dict[str, CircuitBreaker] = {
+            "llm": CircuitBreaker(
+                "llm",
+                failure_threshold=cfg.llm_breaker_threshold,
+                recovery_seconds=cfg.llm_breaker_recovery_seconds,
+                on_transition=self.metrics.record_breaker_transition,
+            ),
+            "vector": CircuitBreaker(
+                "vector",
+                failure_threshold=cfg.vector_breaker_threshold,
+                recovery_seconds=cfg.vector_breaker_recovery_seconds,
+                on_transition=self.metrics.record_breaker_transition,
+            ),
+        }
+        self._gate = IndexGate(self._build_bundle())
+        self.retriever = SwappableRetriever(self._gate)
         # One SQL plan cache for the whole service: the shared lake and
         # every session's materialized scratch database key into it (keys
         # are namespaced per catalog), so hit/miss counters aggregate all
@@ -108,10 +181,9 @@ class PneumaService:
         self.prep = PreparationPipeline(lake, store=self.profile_store)
         self.prep.join_candidates()  # eager: profile + discover at build time
         self.knowledge = DocumentDatabase()
-        # Service-level IR facade for batch_retrieve (sessions build their
-        # own IRSystem over the same shared retriever + knowledge store).
-        self.ir = IRSystem(retriever=self.shared.retriever, knowledge=self.knowledge)
-        self.metrics = ServiceMetrics()
+        # Service-level IR facade for batch_retrieve; built over the
+        # swappable retriever, so it follows reindex swaps automatically.
+        self.ir = IRSystem(retriever=self.retriever, knowledge=self.knowledge)
         self._llm_factory = llm_factory
         self._llm_latency_factor = llm_latency_factor
         self._executor = ThreadPoolExecutor(
@@ -120,7 +192,19 @@ class PneumaService:
         self._sessions: Dict[str, ManagedSession] = {}
         self._registry_lock = threading.Lock()
         self._ids = itertools.count(1)
+        self._llm_instances = itertools.count()
         self._shutdown = False
+        self._draining = False
+        # Admission control: a bounded count of submitted-but-unfinished
+        # turns; post_turn sheds (raises) instead of queuing past it.
+        self._admission_lock = threading.Lock()
+        self._pending_turns = 0
+        self._peak_pending = 0
+        self._max_pending = (
+            cfg.max_pending_turns if cfg.max_pending_turns is not None else max_workers * 32
+        )
+        self._turn_deadline = cfg.turn_deadline_seconds
+        self._reindex_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -131,16 +215,65 @@ class PneumaService:
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
-    def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and release the worker pool."""
+    def shutdown(self, wait: bool = True, drain: bool = False) -> List[SessionSummary]:
+        """Stop accepting work and release the worker pool.
+
+        With ``drain=True``, first stop admitting *new* sessions, then
+        close and summarize every surviving session (waiting out its
+        in-flight turn) — the graceful teardown ``close_session`` alone
+        cannot provide once the service is shut down.  Returns the drained
+        sessions' summaries (empty without ``drain``).
+        """
+        summaries: List[SessionSummary] = []
+        if drain:
+            with self._registry_lock:
+                self._draining = True
+                remaining = list(self._sessions)
+            for session_id in remaining:
+                try:
+                    summaries.append(self.close_session(session_id))
+                except ServiceError:
+                    pass  # lost a race with a concurrent closer — fine
         with self._registry_lock:
             self._shutdown = True
         self._executor.shutdown(wait=wait)
+        return summaries
+
+    def _build_bundle(self, narrations=None, embedder=None) -> SharedIndexBundle:
+        """Build (or warm-rebuild) an index bundle with resilience wiring."""
+        bundle = build_shared_retriever(
+            self.lake,
+            dim=self._dim,
+            fusion_pool=self._fusion_pool,
+            narrations=narrations,
+            embedder=embedder,
+            vector_breaker=self.breakers["vector"],
+            on_degraded=self.metrics.record_degraded_retrieval,
+        )
+        if self.fault_plan is not None:
+            schedule = self.fault_plan.schedule("retriever")
+            if schedule is not None:
+                # Installs query-time faults on the dense half in place.
+                FlakyRetriever(bundle.retriever, schedule)
+        return bundle
 
     def _build_llm(self) -> RuleLLM:
         if self._llm_factory is not None:
-            return self._llm_factory()
-        return build_seeker_llm(clock=SimulatedLatencyClock(self._llm_latency_factor))
+            llm = self._llm_factory()
+        else:
+            llm = build_seeker_llm(clock=SimulatedLatencyClock(self._llm_latency_factor))
+        instance = next(self._llm_instances)
+        if self.fault_plan is not None:
+            schedule = self.fault_plan.schedule("llm")
+            if schedule is not None:
+                llm = FlakyLLM(llm, schedule)
+        return ResilientLLM(
+            llm,
+            retry=self.resilience.retry,
+            breaker=self.breakers["llm"],
+            metrics=self.metrics,
+            seed=derive_seed(self.resilience.seed, "llm-jitter", instance),
+        )
 
     # ------------------------------------------------------------------
     # The four-call API
@@ -148,7 +281,7 @@ class PneumaService:
     def open_session(self, user: str = "") -> str:
         """Start a session against the shared index; returns its id."""
         with self._registry_lock:
-            if self._shutdown:
+            if self._shutdown or self._draining:
                 raise ServiceError("service is shut down")
             session_id = f"s{next(self._ids)}"
         session = SeekerSession(
@@ -157,7 +290,7 @@ class PneumaService:
             knowledge=self.knowledge,
             enable_web=False,
             user=user,
-            retriever=self.shared.retriever,
+            retriever=self.retriever,
             plan_cache=self.sql_plan_cache,
             prep=self.prep,
         )
@@ -165,13 +298,19 @@ class PneumaService:
         with self._registry_lock:
             # Re-check: shutdown() may have run while the session was being
             # built, and a session registered now could never be closed.
-            if self._shutdown:
+            if self._shutdown or self._draining:
                 raise ServiceError("service is shut down")
             self._sessions[session_id] = managed
         self.metrics.record_session_opened()
         return session_id
 
-    def post_turn(self, session_id: str, message: str, wait: bool = True):
+    def post_turn(
+        self,
+        session_id: str,
+        message: str,
+        wait: bool = True,
+        deadline: Optional[float] = None,
+    ):
         """Run one user turn on the worker pool.
 
         With ``wait=True`` (default) blocks and returns the
@@ -179,12 +318,49 @@ class PneumaService:
         so callers can fan out turns across sessions and join later.
         Turns posted to the same session serialize on its lock; turns on
         different sessions run in parallel.
+
+        Admission control and deadlines: when the pending-turn queue is at
+        its bound the turn is shed with :class:`ServiceOverloaded`; when a
+        ``deadline`` (seconds; defaults to the service-wide setting) passes
+        before the turn finishes — or before it even starts — the caller
+        gets a :class:`DegradedResponse` instead of waiting forever.
         """
         managed = self._resolve(session_id)
-        future: Future = self._executor.submit(self._run_turn, managed, message)
-        if wait:
+        deadline = deadline if deadline is not None else self._turn_deadline
+        with self._admission_lock:
+            if self._pending_turns >= self._max_pending:
+                self.metrics.record_turn_shed()
+                raise ServiceOverloaded(
+                    f"{self._pending_turns} turns pending (bound {self._max_pending}); "
+                    "turn shed — retry with backoff"
+                )
+            self._pending_turns += 1
+            if self._pending_turns > self._peak_pending:
+                self._peak_pending = self._pending_turns
+        deadline_at = time.monotonic() + deadline if deadline is not None else None
+        try:
+            future: Future = self._executor.submit(self._run_turn, managed, message, deadline_at)
+        except BaseException:
+            with self._admission_lock:
+                self._pending_turns -= 1
+            raise
+        if not wait:
+            return future
+        if deadline is None:
             return future.result()
-        return future
+        try:
+            return future.result(timeout=deadline)
+        except FutureTimeoutError:
+            self.metrics.record_turn_degraded()
+            return DegradedResponse(
+                session_id=session_id,
+                reason="deadline",
+                message=(
+                    f"This turn exceeded its {deadline:g}s deadline and is still "
+                    "processing in the background; please check back."
+                ),
+                pending=future,
+            )
 
     def batch_retrieve(
         self, queries: Sequence[str], k_tables: int = 6, k_other: int = 2
@@ -222,8 +398,49 @@ class PneumaService:
         )
 
     # ------------------------------------------------------------------
+    # Zero-downtime reindex
+    # ------------------------------------------------------------------
+    def reindex(self, drain: bool = True) -> Dict[str, Any]:
+        """Snapshot-swap reindex: rebuild the shared index over the lake's
+        current contents and atomically publish it, without pausing
+        traffic.
+
+        The fresh bundle is built in the background off the previous
+        bundle's narration/embedding caches (unchanged tables cost one
+        fingerprint pass), then swapped in through the index gate: new
+        searches see the new index immediately, searches already running
+        finish on the old one, and with ``drain=True`` this call returns
+        only after the old generation is provably idle.
+        """
+        with self._reindex_lock:
+            with self._registry_lock:
+                if self._shutdown:
+                    raise ServiceError("service is shut down")
+            current = self._gate.current
+            build_started = time.perf_counter()
+            bundle = self._build_bundle(narrations=current.narrations, embedder=current.embedder)
+            build_seconds = time.perf_counter() - build_started
+            swap_started = time.perf_counter()
+            self._gate.swap(bundle, drain=drain)
+            swap_seconds = time.perf_counter() - swap_started
+            self.metrics.record_reindex()
+            return {
+                "build_report": dict(bundle.build_report),
+                "build_seconds": build_seconds,
+                "swap_seconds": swap_seconds,
+                "drained": drain,
+                "generation": self._gate.generation,
+                "index_size": len(bundle.retriever.index),
+            }
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def shared(self) -> SharedIndexBundle:
+        """The currently-published index bundle (changes on reindex)."""
+        return self._gate.current
+
     def open_session_count(self) -> int:
         with self._registry_lock:
             return len(self._sessions)
@@ -249,6 +466,19 @@ class PneumaService:
         # seeded-materialization counters.
         snapshot["profile_store"] = self.profile_store.stats()
         snapshot["prep"] = self.prep.stats()
+        # Resilience accounting: admission-queue pressure, breaker states,
+        # index generation, and (when injecting) the fault plan's totals.
+        with self._admission_lock:
+            snapshot["admission"] = {
+                "pending_turns": self._pending_turns,
+                "peak_pending_turns": self._peak_pending,
+                "max_pending_turns": self._max_pending,
+                "turn_deadline_seconds": self._turn_deadline,
+            }
+        snapshot["breakers"] = {name: b.stats() for name, b in self.breakers.items()}
+        snapshot["index_gate"] = self._gate.stats()
+        if self.fault_plan is not None:
+            snapshot["faults"] = self.fault_plan.stats()
         return snapshot
 
     # ------------------------------------------------------------------
@@ -263,12 +493,35 @@ class PneumaService:
             raise ServiceError(f"unknown or closed session {session_id!r}")
         return managed
 
-    def _run_turn(self, managed: ManagedSession, message: str) -> SeekerResponse:
-        with managed.lock:
-            if managed.closed:
-                raise ServiceError(f"session {managed.session_id!r} closed mid-flight")
-            started = time.perf_counter()
-            response = managed.session.submit(message)
-            managed.turns += 1
+    def _run_turn(
+        self, managed: ManagedSession, message: str, deadline_at: Optional[float]
+    ) -> SeekerResponse:
+        try:
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                # The deadline passed while the turn sat in the queue:
+                # shed it instead of burning a worker on a dead turn.
+                self.metrics.record_turn_shed()
+                return DegradedResponse(
+                    session_id=managed.session_id,
+                    reason="queue-deadline",
+                    message=(
+                        "The service shed this turn: its deadline passed "
+                        "while it was queued behind other work."
+                    ),
+                )
+            with managed.lock:
+                if managed.closed:
+                    raise ServiceError(f"session {managed.session_id!r} closed mid-flight")
+                started = time.perf_counter()
+                response = managed.session.submit(message)
+                managed.turns += 1
+        except BaseException:
+            self.metrics.record_turn_failed()
+            raise
+        finally:
+            with self._admission_lock:
+                self._pending_turns -= 1
+        if response.degraded:
+            self.metrics.record_turn_degraded()
         self.metrics.record_turn(time.perf_counter() - started)
         return response

@@ -11,12 +11,21 @@ previous bundle's ``narrations``/``embedder`` into
 :func:`build_shared_retriever` builds a *fresh* frozen index: narrations
 and embeddings come from the caches, but the BM25/HNSW inserts are
 repaid in full.
+
+Snapshot-swap reindexing rides on the second path: the service builds a
+fresh bundle in the background, publishes it through an :class:`IndexGate`
+(readers pin the generation they started on; the swap waits for the old
+generation to drain), and sessions only ever hold a
+:class:`SwappableRetriever` — the indirection that makes the swap
+invisible to them.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from ..relational.catalog import Database
 from ..retriever.retriever import PneumaRetriever
@@ -47,13 +56,17 @@ def build_shared_retriever(
     narrations: NarrationCache = None,
     embedder: CachedEmbedder = None,
     fusion_pool: int = None,
+    vector_breaker=None,
+    on_degraded: Optional[Callable[[], None]] = None,
 ) -> SharedIndexBundle:
     """Narrate + embed + index every table of ``lake``, then freeze.
 
     Passing the previous bundle's ``narrations``/``embedder`` makes this a
     warm rebuild: unchanged tables are recognized by fingerprint inside
     the caches and their narrations/embeddings are returned without
-    recomputation.
+    recomputation.  ``vector_breaker``/``on_degraded`` thread the serving
+    layer's dense-half circuit breaker into the retriever so hybrid search
+    degrades to BM25-only instead of failing.
     """
     narrations = narrations if narrations is not None else NarrationCache()
     embedder = embedder if embedder is not None else CachedEmbedder(dim=dim)
@@ -64,6 +77,8 @@ def build_shared_retriever(
         narration_cache=narrations,
         embedder=embedder,
         fusion_pool=fusion_pool,
+        vector_breaker=vector_breaker,
+        on_degraded=on_degraded,
     )
     retriever.freeze()
     return SharedIndexBundle(
@@ -72,3 +87,111 @@ def build_shared_retriever(
         embedder=embedder,
         build_report=dict(retriever.build_report),
     )
+
+
+class _Generation:
+    """One published bundle plus its in-flight reader count."""
+
+    __slots__ = ("bundle", "readers")
+
+    def __init__(self, bundle: SharedIndexBundle):
+        self.bundle = bundle
+        self.readers = 0
+
+
+class IndexGate:
+    """A read–write gate over the service's current index bundle.
+
+    Readers (:meth:`reading`) pin whatever generation is current when they
+    enter and keep using it even if a swap happens mid-read — bundles are
+    immutable, so that is always safe.  :meth:`swap` publishes the new
+    bundle *immediately* (new readers see it with zero wait) and then
+    optionally drains: blocks until the old generation's readers have all
+    exited, at which point the old index is provably idle and can be
+    retired.  Freshness therefore never blocks traffic in either
+    direction.
+    """
+
+    def __init__(self, bundle: SharedIndexBundle):
+        self._cond = threading.Condition()
+        self._current = _Generation(bundle)
+        self.generation = 0
+        self.swaps = 0
+
+    @property
+    def current(self) -> SharedIndexBundle:
+        return self._current.bundle
+
+    @contextmanager
+    def reading(self):
+        with self._cond:
+            gen = self._current
+            gen.readers += 1
+        try:
+            yield gen.bundle
+        finally:
+            with self._cond:
+                gen.readers -= 1
+                if gen.readers == 0:
+                    self._cond.notify_all()
+
+    def swap(self, bundle: SharedIndexBundle, drain: bool = True) -> SharedIndexBundle:
+        """Atomically publish ``bundle``; returns the replaced one.
+
+        With ``drain=True`` (default) the call additionally waits until
+        every reader that entered on the old generation has exited.
+        """
+        with self._cond:
+            old = self._current
+            self._current = _Generation(bundle)
+            self.generation += 1
+            self.swaps += 1
+            if drain:
+                while old.readers > 0:
+                    self._cond.wait()
+        return old.bundle
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "generation": self.generation,
+                "swaps": self.swaps,
+                "active_readers": self._current.readers,
+            }
+
+
+class SwappableRetriever:
+    """The retriever handle sessions actually hold.
+
+    Each search pins the gate's current bundle for exactly that call, so
+    long-lived sessions follow reindex swaps automatically while in-flight
+    searches finish on the index they started on.  Everything else
+    (``frozen``, ``index``, ``narration`` …) delegates to the current
+    bundle's retriever.
+    """
+
+    def __init__(self, gate: IndexGate):
+        self._gate = gate
+
+    def search(self, query: str, k: int = 5, mode: str = "hybrid"):
+        with self._gate.reading() as bundle:
+            return bundle.retriever.search(query, k=k, mode=mode)
+
+    def search_batch(self, queries, k: int = 5, mode: str = "hybrid"):
+        with self._gate.reading() as bundle:
+            return bundle.retriever.search_batch(queries, k=k, mode=mode)
+
+    def column_values(self, table_name: str, column: str, limit: int = 200):
+        with self._gate.reading() as bundle:
+            return bundle.retriever.column_values(table_name, column, limit)
+
+    @property
+    def frozen(self) -> bool:
+        return self._gate.current.retriever.frozen
+
+    @property
+    def index(self):
+        return self._gate.current.retriever.index
+
+    def __getattr__(self, name):
+        return getattr(self._gate.current.retriever, name)

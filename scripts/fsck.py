@@ -1,0 +1,168 @@
+"""Offline verifier for IndexStore directories.
+
+Read-only: unlike opening an :class:`~repro.storage.IndexStore` (which
+appends an ``open`` record and truncates any torn WAL tail), this walks
+the durable state exactly as it sits on disk —
+
+1. load the ``MANIFEST.json`` checkpoint (or start from the empty state
+   when none was ever completed);
+2. replay ``wal.log`` through the same checksummed framing the store
+   uses, advancing the state with each ``publish`` record;
+3. re-checksum every segment the resulting state references and
+   cross-check its payload digest against the catalog.
+
+Exit status: 0 when everything checks out, 1 on any corruption, 2 on
+usage errors.  A torn WAL tail is *recoverable* (the next open truncates
+it), so it is reported but only fails the check under ``--strict``.
+
+    PYTHONPATH=src python scripts/fsck.py path/to/store [--strict] [--json]
+    PYTHONPATH=src python scripts/fsck.py --selftest
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.storage.journal import replay_journal  # noqa: E402
+from repro.storage.manifest import Manifest  # noqa: E402
+from repro.storage.segment import read_segment, verify_segment  # noqa: E402
+
+
+def check_store(root: Path) -> dict:
+    """Verify one store directory; returns the report dict (non-raising)."""
+    state = Manifest.load(root / "MANIFEST.json") or Manifest()
+    checkpoint_found = (root / "MANIFEST.json").exists()
+
+    wal_path = root / "wal.log"
+    if wal_path.exists():
+        replay = replay_journal(wal_path)
+        records, torn_bytes, torn_reason = replay.records, replay.torn_bytes, replay.torn_reason
+    else:
+        records, torn_bytes, torn_reason = [], 0, ""
+    for record in records:
+        if record.get("type") == "publish":
+            state.apply_publish(record)
+
+    segments = []
+    ok = True
+    for kind, ref in sorted(state.segments.items()):
+        path = root / "segments" / ref.file
+        report = verify_segment(path)
+        report["kind"] = kind
+        if report["ok"]:
+            digest = read_segment(path).header["payload_blake2b"]
+            if digest != ref.payload_blake2b:
+                report["ok"] = False
+                report["reason"] = "payload digest does not match the catalog"
+        ok = ok and report["ok"]
+        segments.append(report)
+
+    return {
+        "ok": ok,
+        "root": str(root),
+        "checkpoint_found": checkpoint_found,
+        "generation": state.generation,
+        "tables": len(state.tables),
+        "segments": segments,
+        "journal": {
+            "records": len(records),
+            "torn_bytes": torn_bytes,
+            "torn_reason": torn_reason,
+        },
+        "quarantined": sorted(p.name for p in (root / "quarantine").glob("*.seg"))
+        if (root / "quarantine").exists()
+        else [],
+    }
+
+
+def print_report(report: dict) -> None:
+    print(f"fsck {report['root']}")
+    print(
+        f"  catalog    generation {report['generation']}, "
+        f"{report['tables']} tables, "
+        f"checkpoint {'present' if report['checkpoint_found'] else 'absent'}"
+    )
+    for seg in report["segments"]:
+        verdict = "ok" if seg["ok"] else f"CORRUPT ({seg['reason']})"
+        size = f", {seg['payload_bytes']} payload bytes" if seg.get("payload_bytes") else ""
+        print(f"  segment    {seg['kind']:<8} {Path(seg['path']).name}: {verdict}{size}")
+    if not report["segments"]:
+        print("  segment    (no snapshot referenced)")
+    journal = report["journal"]
+    torn = (
+        f", torn tail {journal['torn_bytes']} bytes ({journal['torn_reason']})"
+        if journal["torn_bytes"]
+        else ""
+    )
+    print(f"  journal    {journal['records']} valid records{torn}")
+    if report["quarantined"]:
+        print(f"  quarantine {', '.join(report['quarantined'])}")
+
+
+def selftest() -> int:
+    """Build a store, verify it passes, corrupt it, verify it fails."""
+    from repro.retriever.index import HybridIndex
+    from repro.storage import IndexStore
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "store"
+        index = HybridIndex(dim=32)
+        index.add_batch([(f"doc{i}", f"selftest corpus row {i}") for i in range(20)])
+        index.freeze()
+        with IndexStore(root) as store:
+            store.publish(index)
+            store.checkpoint(clean=True)
+
+        clean = check_store(root)
+        if not clean["ok"] or len(clean["segments"]) != 3:
+            print("selftest FAILED: pristine store did not verify", file=sys.stderr)
+            return 1
+
+        victim = next((root / "segments").glob("bm25-*.seg"))
+        blob = bytearray(victim.read_bytes())
+        blob[-40] ^= 0xFF
+        victim.write_bytes(bytes(blob))
+        if check_store(root)["ok"]:
+            print("selftest FAILED: bit flip went undetected", file=sys.stderr)
+            return 1
+
+    print("selftest ok: pristine store verifies, bit flip is caught")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("store", type=Path, nargs="?", help="store directory to verify")
+    parser.add_argument(
+        "--strict", action="store_true", help="also fail on a (recoverable) torn WAL tail"
+    )
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    parser.add_argument(
+        "--selftest", action="store_true", help="verify fsck itself catches corruption"
+    )
+    args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
+    if args.store is None:
+        parser.error("a store directory is required (or --selftest)")
+    if not args.store.is_dir():
+        print(f"fsck: {args.store} is not a directory", file=sys.stderr)
+        return 2
+
+    report = check_store(args.store)
+    failed = not report["ok"] or (args.strict and report["journal"]["torn_bytes"] > 0)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print_report(report)
+        print("FAILED" if failed else "OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -123,6 +123,21 @@ def main() -> None:
     subprocess.run(resilience_args, check=True, env=env, cwd=repo_root)
     print()
 
+    # ------------------------------------------------- Index persistence
+    # Warm start vs cold rebuild, crash recovery, bit-transparency;
+    # writes BENCH_persistence.json and leaves the store directory for
+    # the offline verifier, which then re-checksums it.
+    persistence = repo_root / "benchmarks" / "bench_persistence.py"
+    persistence_args = [sys.executable, str(persistence)]
+    if not args.full_table1:
+        persistence_args.append("--smoke")
+    subprocess.run(persistence_args, check=True, env=env, cwd=repo_root)
+    subprocess.run(
+        [sys.executable, str(repo_root / "scripts" / "fsck.py"), "BENCH_persistence_store"],
+        check=True, env=env, cwd=repo_root,
+    )
+    print()
+
     print(f"All experiments finished in {time.time() - started:.1f}s")
 
 

@@ -85,8 +85,13 @@ class HNSWIndex:
         self.m0 = 2 * m
         self.ef_construction = ef_construction
         self.ef_search = ef_search
+        self.seed = seed  # recorded so a persisted index can be rebuilt bit-identically
         self._level_mult = 1.0 / math.log(m)
         self._rng = random.Random(seed)
+        # Set when hydrated from a persistent segment: the mutable
+        # adjacency dicts were never rebuilt (and the matrix may be a
+        # read-only mmap), so insertion/update is forbidden.
+        self._hydrated = False
 
         self._keys: List[str] = []
         self._positions: Dict[str, int] = {}
@@ -199,10 +204,82 @@ class HNSWIndex:
         return self
 
     # ------------------------------------------------------------------
+    # Persistence (the storage subsystem's segment codec drives these)
+    # ------------------------------------------------------------------
+    def export_compiled(self) -> Dict[str, object]:
+        """A flat, file-ready view of the compiled graph: the compacted
+        vector matrix, per-level CSR adjacency, node levels, and keys.
+        :meth:`hydrate_compiled` restores an index whose searches are
+        bit-identical (same matrix bytes, same links, same entry point).
+        Compiles first if needed."""
+        self.compile()
+        assert self._csr is not None
+        return {
+            "meta": {
+                "dim": self.dim,
+                "metric": self.metric_name,
+                "m": self.m,
+                "ef_construction": self.ef_construction,
+                "ef_search": self.ef_search,
+                "seed": self.seed,
+                "entry_point": -1 if self._entry_point is None else int(self._entry_point),
+                "levels": len(self._csr),
+            },
+            "matrix": self._matrix,
+            "node_levels": np.asarray(self._node_levels, dtype=np.int64),
+            "keys": list(self._keys),
+            "csr": list(self._csr),
+        }
+
+    @classmethod
+    def hydrate_compiled(
+        cls,
+        meta: Dict[str, object],
+        matrix: np.ndarray,
+        node_levels: np.ndarray,
+        keys: List[str],
+        csr: List[Tuple[np.ndarray, np.ndarray]],
+    ) -> "HNSWIndex":
+        """Rebuild a search-only index from :meth:`export_compiled` data.
+
+        ``matrix``/``csr`` are referenced, not copied — pass memory-mapped
+        views and beam search runs straight off the file.  The mutable
+        adjacency dicts are *not* reconstructed, so :meth:`add`/
+        :meth:`update` raise.
+        """
+        index = cls(
+            dim=int(meta["dim"]),
+            metric=str(meta["metric"]),
+            m=int(meta["m"]),
+            ef_construction=int(meta["ef_construction"]),
+            ef_search=int(meta["ef_search"]),
+            seed=int(meta.get("seed", 42)),
+        )
+        index._matrix = matrix
+        index._count = matrix.shape[0]
+        index._keys = list(keys)
+        index._positions = {key: node for node, key in enumerate(index._keys)}
+        index._node_levels = [int(level) for level in node_levels]
+        entry = int(meta["entry_point"])
+        index._entry_point = None if entry < 0 else entry
+        index._csr = [
+            (np.asarray(offsets, dtype=np.int64), np.asarray(flat, dtype=np.int64))
+            for offsets, flat in csr
+        ]
+        index._hydrated = True
+        return index
+
+    @property
+    def hydrated(self) -> bool:
+        """True when restored from a segment (search-only)."""
+        return self._hydrated
+
+    # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
     def add(self, key: str, vector: np.ndarray) -> None:
         """Insert a vector (duplicate keys are rejected; use a fresh key)."""
+        self._check_mutable()
         if key in self._positions:
             raise KeyError(f"key {key!r} already present")
         row = self._prepare(vector)
@@ -421,6 +498,14 @@ class HNSWIndex:
         degrade; rebuild the index if the corpus churns heavily.  Works
         on a compiled index (the compacted matrix is the live storage).
         """
+        self._check_mutable()
         if key not in self._positions:
             raise KeyError(f"key {key!r} is not present; use add()")
         self._matrix[self._positions[key]] = self._prepare(vector)
+
+    def _check_mutable(self) -> None:
+        if self._hydrated:
+            raise RuntimeError(
+                "this HNSWIndex was hydrated from a persistent segment and is "
+                "search-only; rebuild from source vectors to mutate"
+            )

@@ -13,10 +13,11 @@ import json
 import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..documents.document import Document
 from ..retriever.index import HybridIndex
+from ..storage.atomic import atomic_write_json
 
 
 @dataclass
@@ -37,6 +38,10 @@ class DocumentDatabase:
         # The serving layer shares one store across all sessions, so
         # captures from concurrent turns must not race on the counter.
         self._lock = threading.Lock()
+        #: When set (by the storage layer), every captured entry is
+        #: journaled before :meth:`add` returns — the WAL hook that makes
+        #: knowledge captured between saves survive a crash.
+        self.recorder: Optional[Callable[[dict], None]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -50,6 +55,15 @@ class DocumentDatabase:
             entry = KnowledgeEntry(f"k{self._counter}", text.strip(), topic, author)
             self._entries[entry.entry_id] = entry
             self.index.add(entry.entry_id, f"{topic}. {text}" if topic else text)
+            if self.recorder is not None:
+                self.recorder(
+                    {
+                        "id": entry.entry_id,
+                        "text": entry.text,
+                        "topic": entry.topic,
+                        "author": entry.author,
+                    }
+                )
         return entry
 
     def entries(self) -> List[KnowledgeEntry]:
@@ -81,11 +95,14 @@ class DocumentDatabase:
     # Persistence (emergent documentation should survive the session)
     # ------------------------------------------------------------------
     def save(self, path: Path) -> None:
-        records = [
-            {"id": e.entry_id, "text": e.text, "topic": e.topic, "author": e.author}
-            for e in self._entries.values()
-        ]
-        Path(path).write_text(json.dumps(records, indent=2))
+        with self._lock:
+            records = [
+                {"id": e.entry_id, "text": e.text, "topic": e.topic, "author": e.author}
+                for e in self._entries.values()
+            ]
+        # Published atomically (write-temp → fsync → rename → fsync-dir):
+        # a crash mid-save leaves the previous file, never a torn one.
+        atomic_write_json(path, records)
 
     @classmethod
     def load(cls, path: Path) -> "DocumentDatabase":

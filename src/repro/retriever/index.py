@@ -72,6 +72,7 @@ class HybridIndex:
         self.rrf_k = rrf_k
         self.bm25_weight = bm25_weight
         self.vector_weight = vector_weight
+        self.seed = seed
         #: Fusion candidate depth per half; ``None`` keeps the adaptive
         #: default ``max(k * 3, 10)``.  Deeper pools let lower-ranked
         #: agreement between the halves surface at higher fusion cost.
@@ -153,6 +154,65 @@ class HybridIndex:
     @property
     def frozen(self) -> bool:
         return self._frozen
+
+    # ------------------------------------------------------------------
+    # Persistence (the storage subsystem's segment codec drives these)
+    # ------------------------------------------------------------------
+    def export_fusion(self) -> Dict[str, object]:
+        """The fusion layer's file-ready view: the hybrid id space, both
+        halves' slot→hybrid maps, and every document's indexed text (the
+        rebuild source should a half's segment be quarantined).  Requires
+        a frozen, compiled (non-legacy) index."""
+        if self.legacy or self._bm25_map is None:
+            raise RuntimeError("export_fusion requires a frozen, compiled kernel index")
+        return {
+            "meta": {
+                "rrf_k": self.rrf_k,
+                "bm25_weight": self.bm25_weight,
+                "vector_weight": self.vector_weight,
+                "fusion_pool": self.fusion_pool,
+                "seed": self.seed,
+                "dim": self.embedder.dim,
+            },
+            "doc_list": list(self._doc_list),
+            "texts": [self._texts[doc_id] for doc_id in self._doc_list],
+            "bm25_map": self._bm25_map,
+            "vector_map": self._vector_map,
+        }
+
+    @classmethod
+    def hydrate_fusion(
+        cls,
+        meta: Dict[str, object],
+        bm25: BM25Index,
+        vectors: HNSWIndex,
+        doc_list: List[str],
+        texts: List[str],
+        bm25_map: np.ndarray,
+        vector_map: np.ndarray,
+        embedder=None,
+    ) -> "HybridIndex":
+        """Assemble a frozen hybrid index from restored (or rebuilt)
+        halves plus the fusion arrays.  The result serves the compiled
+        int-fusion search path exactly as the index it was exported from."""
+        pool = meta.get("fusion_pool")
+        index = cls(
+            dim=int(meta["dim"]),
+            rrf_k=int(meta["rrf_k"]),
+            bm25_weight=float(meta["bm25_weight"]),
+            vector_weight=float(meta["vector_weight"]),
+            seed=int(meta.get("seed", 13)),
+            embedder=embedder,
+            fusion_pool=None if pool is None else int(pool),
+        )
+        index.bm25 = bm25
+        index.vectors = vectors
+        index._texts = dict(zip(doc_list, texts))
+        index._doc_list = list(doc_list)
+        index._bm25_map = np.asarray(bm25_map, dtype=np.int64)
+        index._vector_map = np.asarray(vector_map, dtype=np.int64)
+        index._frozen = True
+        return index
 
     # ------------------------------------------------------------------
     # Introspection

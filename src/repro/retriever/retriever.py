@@ -45,16 +45,27 @@ class PneumaRetriever:
         fusion_pool: Optional[int] = None,
         vector_breaker=None,
         on_degraded: Optional[Callable[[], None]] = None,
+        index=None,
+        preset_narrations: Optional[Dict[str, str]] = None,
+        preset_fingerprints: Optional[Dict[str, Tuple[str, int]]] = None,
     ):
         self.database = database
         self.sample_rows = sample_rows
         self.narrations = narration_cache if narration_cache is not None else NarrationCache()
-        self.index = HybridIndex(dim=dim, embedder=embedder, fusion_pool=fusion_pool)
+        # A warm start (storage layer) injects an index hydrated from a
+        # snapshot, plus the narrations/fingerprints of the tables that
+        # snapshot still covers — the construction-time reindex below then
+        # narrates only tables that changed while the service was down.
+        self.index = (
+            index
+            if index is not None
+            else HybridIndex(dim=dim, embedder=embedder, fusion_pool=fusion_pool)
+        )
         self.vector_breaker = vector_breaker
         self._on_degraded = on_degraded
         self.degraded_serves = 0
-        self._narrations: Dict[str, str] = {}
-        self._fingerprints: Dict[str, Tuple[str, int]] = {}
+        self._narrations: Dict[str, str] = dict(preset_narrations or {})
+        self._fingerprints: Dict[str, Tuple[str, int]] = dict(preset_fingerprints or {})
         self.build_report = self.reindex()
 
     # ------------------------------------------------------------------

@@ -8,6 +8,7 @@ harness.  See :class:`PneumaService` for the serving API.
 """
 
 from .faults import (
+    CrashSpec,
     FaultPlan,
     FaultSchedule,
     FaultSpec,
@@ -37,6 +38,7 @@ from .shared import (
     SharedIndexBundle,
     SwappableRetriever,
     build_shared_retriever,
+    restore_shared_retriever,
 )
 
 __all__ = [
@@ -52,6 +54,8 @@ __all__ = [
     "IndexGate",
     "SwappableRetriever",
     "build_shared_retriever",
+    "restore_shared_retriever",
+    "CrashSpec",
     "FaultPlan",
     "FaultSpec",
     "FaultSchedule",

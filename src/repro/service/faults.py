@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..llm.interface import TransientDependencyError
+from ..storage.crash import NO_CRASH, CrashInjector, CrashSpec
 
 __all__ = [
     "FaultSpec",
@@ -32,6 +33,7 @@ __all__ = [
     "FlakyEmbedder",
     "FlakyRetriever",
     "FlakySQL",
+    "CrashSpec",
 ]
 
 
@@ -149,6 +151,10 @@ class FaultPlan:
     llm: FaultSpec = field(default_factory=FaultSpec)
     retriever: FaultSpec = field(default_factory=FaultSpec)
     sql: FaultSpec = field(default_factory=FaultSpec)
+    #: Crash schedule for the persistence write paths (segment publish,
+    #: journal appends, checkpoints) — a :class:`repro.storage.crash.CrashSpec`
+    #: with its own seed; :meth:`CrashSpec.none` injects nothing.
+    storage: CrashSpec = field(default_factory=CrashSpec.none)
 
     def __post_init__(self):
         self._lock = threading.Lock()
@@ -159,6 +165,14 @@ class FaultPlan:
     def none(cls, seed: int = 0) -> "FaultPlan":
         """The no-fault plan: injects nothing, bit-transparent (the oracle)."""
         return cls(seed=seed)
+
+    def crash_injector(self) -> CrashInjector:
+        """The storage layer's crash injector for this plan (the shared
+        inert :data:`~repro.storage.crash.NO_CRASH` when the spec is noop,
+        keeping the no-fault plan bit-transparent)."""
+        if self.storage.is_noop:
+            return NO_CRASH
+        return CrashInjector(self.storage)
 
     def spec_for(self, dependency: str) -> FaultSpec:
         try:

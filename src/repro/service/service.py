@@ -48,7 +48,8 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.session import SeekerResponse, SeekerSession, build_seeker_llm
 from ..ir.docdb import DocumentDatabase
@@ -59,10 +60,17 @@ from ..prep.pipeline import PreparationPipeline
 from ..prep.store import ProfileStore
 from ..relational.catalog import Database
 from ..relational.plan import PlanCache
+from ..storage import NO_CRASH, IndexStore, stable_table_fingerprint
 from .faults import FaultPlan, FlakyLLM, FlakyRetriever, derive_seed
 from .metrics import ServiceMetrics
 from .resilience import CircuitBreaker, ResilienceConfig, ResilientLLM
-from .shared import IndexGate, SharedIndexBundle, SwappableRetriever, build_shared_retriever
+from .shared import (
+    IndexGate,
+    SharedIndexBundle,
+    SwappableRetriever,
+    build_shared_retriever,
+    restore_shared_retriever,
+)
 
 
 class ServiceError(RuntimeError):
@@ -141,6 +149,7 @@ class PneumaService:
         fusion_pool: Optional[int] = None,
         resilience: Optional[ResilienceConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        storage_dir: Optional[Union[str, Path]] = None,
     ):
         self.lake = lake
         self._dim = dim
@@ -148,6 +157,19 @@ class PneumaService:
         self.resilience = resilience if resilience is not None else ResilienceConfig()
         self.fault_plan = fault_plan
         self.metrics = ServiceMetrics()
+        # Crash-safe persistence (optional): opening the store runs the
+        # full recovery protocol (WAL replay, torn-tail truncation,
+        # quarantine of corrupt segments); the fault plan's storage spec
+        # threads deterministic crash injection through its write paths.
+        self._storage_injector = (
+            fault_plan.crash_injector() if fault_plan is not None else NO_CRASH
+        )
+        self.store: Optional[IndexStore] = (
+            IndexStore(storage_dir, crash=self._storage_injector)
+            if storage_dir is not None
+            else None
+        )
+        self.warm_started = False
         cfg = self.resilience
         self.breakers: Dict[str, CircuitBreaker] = {
             "llm": CircuitBreaker(
@@ -163,7 +185,7 @@ class PneumaService:
                 on_transition=self.metrics.record_breaker_transition,
             ),
         }
-        self._gate = IndexGate(self._build_bundle())
+        self._gate = IndexGate(self._build_bundle(initial=True))
         self.retriever = SwappableRetriever(self._gate)
         # One SQL plan cache for the whole service: the shared lake and
         # every session's materialized scratch database key into it (keys
@@ -180,7 +202,7 @@ class PneumaService:
         self.profile_store = ProfileStore()
         self.prep = PreparationPipeline(lake, store=self.profile_store)
         self.prep.join_candidates()  # eager: profile + discover at build time
-        self.knowledge = DocumentDatabase()
+        self.knowledge = self._open_knowledge()
         # Service-level IR facade for batch_retrieve; built over the
         # swappable retriever, so it follows reindex swaps automatically.
         self.ir = IRSystem(retriever=self.retriever, knowledge=self.knowledge)
@@ -237,25 +259,84 @@ class PneumaService:
         with self._registry_lock:
             self._shutdown = True
         self._executor.shutdown(wait=wait)
+        if self.store is not None:
+            if drain:
+                # Graceful: atomically save the knowledge store, fold the
+                # WAL into the checkpoint, and write the clean-shutdown
+                # marker — the next open classifies as clean and skips
+                # recovery work entirely.
+                self.knowledge.save(self.store.root / "knowledge.json")
+                self.store.checkpoint(clean=True)
+            else:
+                self.store.close()
         return summaries
 
-    def _build_bundle(self, narrations=None, embedder=None) -> SharedIndexBundle:
-        """Build (or warm-rebuild) an index bundle with resilience wiring."""
-        bundle = build_shared_retriever(
-            self.lake,
-            dim=self._dim,
-            fusion_pool=self._fusion_pool,
-            narrations=narrations,
-            embedder=embedder,
-            vector_breaker=self.breakers["vector"],
-            on_degraded=self.metrics.record_degraded_retrieval,
-        )
+    def _build_bundle(
+        self, narrations=None, embedder=None, initial: bool = False
+    ) -> SharedIndexBundle:
+        """Build (or warm-rebuild) an index bundle with resilience wiring.
+
+        On the initial build with a store attached, a published snapshot
+        warm-starts the bundle: the frozen index hydrates from mmap'd
+        segments, and only tables that changed while the service was down
+        are narrated (into the delta overlay).  A cold build with a store
+        publishes its result so the *next* open warm-starts.
+        """
+        bundle: Optional[SharedIndexBundle] = None
+        if initial and self.store is not None:
+            bundle = restore_shared_retriever(
+                self.lake,
+                self.store,
+                dim=self._dim,
+                fusion_pool=self._fusion_pool,
+                narrations=narrations,
+                embedder=embedder,
+                vector_breaker=self.breakers["vector"],
+                on_degraded=self.metrics.record_degraded_retrieval,
+            )
+            if bundle is not None:
+                self.warm_started = True
+        if bundle is None:
+            bundle = build_shared_retriever(
+                self.lake,
+                dim=self._dim,
+                fusion_pool=self._fusion_pool,
+                narrations=narrations,
+                embedder=embedder,
+                vector_breaker=self.breakers["vector"],
+                on_degraded=self.metrics.record_degraded_retrieval,
+            )
+            if initial and self.store is not None:
+                self._publish_index(bundle.retriever.index)
         if self.fault_plan is not None:
             schedule = self.fault_plan.schedule("retriever")
             if schedule is not None:
                 # Installs query-time faults on the dense half in place.
                 FlakyRetriever(bundle.retriever, schedule)
         return bundle
+
+    def _publish_index(self, index) -> int:
+        """Durably publish a frozen index through the store's journal."""
+        tables = {
+            table.name: stable_table_fingerprint(table) for table in self.lake.tables()
+        }
+        return self.store.publish(index, tables=tables)
+
+    def _open_knowledge(self) -> DocumentDatabase:
+        """The knowledge store, recovered when persistence is attached:
+        load the last atomic save, re-apply WAL-journaled captures the
+        save predates, then journal every future capture."""
+        if self.store is None:
+            return DocumentDatabase()
+        saved = self.store.root / "knowledge.json"
+        knowledge = DocumentDatabase.load(saved) if saved.exists() else DocumentDatabase()
+        existing = {entry.entry_id for entry in knowledge.entries()}
+        for record in self.store.knowledge_records():
+            if record.get("id") in existing or not record.get("text"):
+                continue
+            knowledge.add(record["text"], record.get("topic", ""), record.get("author", ""))
+        knowledge.recorder = self.store.knowledge_recorder()
+        return knowledge
 
     def _build_llm(self) -> RuleLLM:
         if self._llm_factory is not None:
@@ -424,7 +505,7 @@ class PneumaService:
             self._gate.swap(bundle, drain=drain)
             swap_seconds = time.perf_counter() - swap_started
             self.metrics.record_reindex()
-            return {
+            report = {
                 "build_report": dict(bundle.build_report),
                 "build_seconds": build_seconds,
                 "swap_seconds": swap_seconds,
@@ -432,6 +513,12 @@ class PneumaService:
                 "generation": self._gate.generation,
                 "index_size": len(bundle.retriever.index),
             }
+            if self.store is not None:
+                # Swap first, publish second: readers get the new index at
+                # memory speed, and a crash mid-publish leaves the previous
+                # durable snapshot intact (the WAL record is what commits).
+                report["published_generation"] = self._publish_index(bundle.retriever.index)
+            return report
 
     # ------------------------------------------------------------------
     # Introspection
@@ -477,6 +564,10 @@ class PneumaService:
             }
         snapshot["breakers"] = {name: b.stats() for name, b in self.breakers.items()}
         snapshot["index_gate"] = self._gate.stats()
+        if self.store is not None:
+            storage = self.store.stats()
+            storage["warm_start"] = self.warm_started
+            snapshot["storage"] = storage
         if self.fault_plan is not None:
             snapshot["faults"] = self.fault_plan.stats()
         return snapshot

@@ -29,7 +29,9 @@ from typing import Callable, Dict, Optional
 
 from ..relational.catalog import Database
 from ..retriever.retriever import PneumaRetriever
-from ..retriever.summarizer import NarrationCache
+from ..retriever.summarizer import NarrationCache, table_fingerprint
+from ..storage.delta import DeltaHybridIndex
+from ..storage.manifest import stable_table_fingerprint
 from ..text.embedding import CachedEmbedder
 
 
@@ -86,6 +88,72 @@ def build_shared_retriever(
         narrations=narrations,
         embedder=embedder,
         build_report=dict(retriever.build_report),
+    )
+
+
+def restore_shared_retriever(
+    lake: Database,
+    store,
+    dim: int = 192,
+    sample_rows: int = 3,
+    narrations: NarrationCache = None,
+    embedder: CachedEmbedder = None,
+    fusion_pool: int = None,
+    vector_breaker=None,
+    on_degraded: Optional[Callable[[], None]] = None,
+) -> Optional[SharedIndexBundle]:
+    """Warm-start a bundle from an :class:`~repro.storage.store.IndexStore`
+    snapshot instead of narrating/embedding/indexing the whole lake.
+
+    The snapshot's frozen index hydrates zero-copy from mmap'd segments
+    and becomes the base of a :class:`DeltaHybridIndex`; the lake is then
+    reconciled against the manifest's stable table fingerprints — tables
+    the snapshot still covers are served from the base (their narrations
+    come straight back from the segment), changed/new tables are narrated
+    into the delta overlay, and tables dropped from the catalog are
+    tombstoned.  Returns ``None`` when the store has no usable snapshot
+    (the caller cold-builds).
+    """
+    narrations = narrations if narrations is not None else NarrationCache()
+    embedder = embedder if embedder is not None else CachedEmbedder(dim=dim)
+    base = store.load_index(embedder=embedder)
+    if base is None:
+        return None
+    delta = DeltaHybridIndex(base)
+    current = {table.name: table for table in lake.tables()}
+    preset_narrations = {}
+    preset_fingerprints = {}
+    for name, fingerprint in store.state.tables.items():
+        table = current.get(name)
+        if table is None or name not in base:
+            continue
+        if stable_table_fingerprint(table) == fingerprint:
+            preset_narrations[name] = base.text_of(name)
+            preset_fingerprints[name] = table_fingerprint(table)
+    retriever = PneumaRetriever(
+        lake,
+        dim=dim,
+        sample_rows=sample_rows,
+        narration_cache=narrations,
+        embedder=embedder,
+        fusion_pool=fusion_pool,
+        vector_breaker=vector_breaker,
+        on_degraded=on_degraded,
+        index=delta,
+        preset_narrations=preset_narrations,
+        preset_fingerprints=preset_fingerprints,
+    )
+    for doc_id in base._doc_list:
+        if doc_id not in current:
+            delta.mask(doc_id)
+    retriever.freeze()
+    report = dict(retriever.build_report)
+    report["restored"] = len(preset_narrations)
+    return SharedIndexBundle(
+        retriever=retriever,
+        narrations=narrations,
+        embedder=embedder,
+        build_report=report,
     )
 
 

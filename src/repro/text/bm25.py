@@ -96,6 +96,15 @@ class BM25Index:
             raise ValueError(f"b must be in [0, 1], got {b}")
         self.k1 = k1
         self.b = b
+        # Set when this index was hydrated from a persistent segment: the
+        # mutable postings dicts were never rebuilt, so mutation (which
+        # depends on them) is forbidden — search-only, like the frozen
+        # serving index the segment was written from.
+        self._hydrated = False
+        # Lazy per-term hydration source: (term -> row, idf, CSR offsets,
+        # flat slots/tfs/contrib).  ``None`` on ordinary indexes.
+        self._seg: Optional[Tuple[Dict[str, int], np.ndarray, np.ndarray,
+                                  np.ndarray, np.ndarray, np.ndarray]] = None
         # Doc interning: slot -> doc_id / length (stale after removal, the
         # slot is recycled by the next add).
         self._doc_ids: List[Optional[str]] = []
@@ -121,6 +130,7 @@ class BM25Index:
     # ------------------------------------------------------------------
     def add(self, doc_id: str, text: str) -> None:
         """Index a document; re-adding an id replaces the old content."""
+        self._check_mutable()
         if doc_id in self._doc_index:
             self.remove(doc_id)
         tokens = tokenize(text)
@@ -147,6 +157,7 @@ class BM25Index:
 
     def remove(self, doc_id: str) -> None:
         """Drop a document, touching only its own terms (reverse map)."""
+        self._check_mutable()
         slot = self._doc_index.get(doc_id)
         if slot is None:
             raise KeyError(f"document {doc_id!r} is not indexed")
@@ -161,6 +172,13 @@ class BM25Index:
         self._doc_lengths[slot] = 0
         self._free_slots.append(slot)
         self._version += 1
+
+    def _check_mutable(self) -> None:
+        if self._hydrated:
+            raise RuntimeError(
+                "this BM25Index was hydrated from a persistent segment and is "
+                "search-only; rebuild from source texts to mutate"
+            )
 
     def __len__(self) -> int:
         return len(self._doc_index)
@@ -200,6 +218,102 @@ class BM25Index:
         self._compiled_version = self._version
         return self
 
+    # ------------------------------------------------------------------
+    # Persistence (the storage subsystem's segment codec drives these)
+    # ------------------------------------------------------------------
+    def export_compiled(self) -> Dict[str, object]:
+        """A flat, file-ready view of the compiled index.
+
+        Everything search needs, as parallel arrays: the interned doc
+        table, the norm vector, and every term's impact-sorted postings
+        concatenated in sorted-term order behind a CSR ``offsets`` array.
+        Restoring these bytes via :meth:`hydrate_compiled` yields an index
+        whose rankings are bit-identical (same contributions, same
+        summation order, same tie-breaks).  Compiles first if needed.
+        """
+        if self._seg is not None:
+            rows, idf, offsets, slots, tfs, contrib = self._seg
+            terms = list(rows)
+        else:
+            self.compile()
+            terms = sorted(self._postings)
+            entries = [self._term_entry(term) for term in terms]
+            sizes = np.array([e.slots.size for e in entries], dtype=np.int64)
+            offsets = np.zeros(len(terms) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=offsets[1:])
+            if entries:
+                slots = np.concatenate([e.slots for e in entries])
+                tfs = np.concatenate([e.tfs for e in entries])
+                contrib = np.concatenate([e.contrib for e in entries])
+            else:
+                slots = np.empty(0, dtype=np.int32)
+                tfs = np.empty(0, dtype=np.float32)
+                contrib = np.empty(0, dtype=np.float64)
+            idf = np.array([e.idf for e in entries], dtype=np.float64)
+        norm = self._norm if self._norm is not None else np.empty(0, dtype=np.float64)
+        return {
+            "meta": {
+                "k1": self.k1,
+                "b": self.b,
+                "total_length": self._total_length,
+            },
+            "doc_ids": list(self._doc_ids),
+            "doc_lengths": np.asarray(self._doc_lengths, dtype=np.int64),
+            "norm": np.asarray(norm, dtype=np.float64),
+            "terms": terms,
+            "idf": idf,
+            "offsets": offsets,
+            "slots": slots,
+            "tfs": tfs,
+            "contrib": contrib,
+        }
+
+    @classmethod
+    def hydrate_compiled(
+        cls,
+        meta: Dict[str, object],
+        doc_ids: List[Optional[str]],
+        doc_lengths: np.ndarray,
+        norm: np.ndarray,
+        terms: List[str],
+        idf: np.ndarray,
+        offsets: np.ndarray,
+        slots: np.ndarray,
+        tfs: np.ndarray,
+        contrib: np.ndarray,
+    ) -> "BM25Index":
+        """Rebuild a search-only index from :meth:`export_compiled` data.
+
+        The postings arrays are referenced, not copied — pass memory-mapped
+        views and searches run straight off the file.  Term entries are
+        materialized lazily per queried term.  The mutable postings dicts
+        are *not* reconstructed, so :meth:`add`/:meth:`remove` raise.
+        """
+        index = cls(k1=float(meta["k1"]), b=float(meta["b"]))
+        index._doc_ids = list(doc_ids)
+        index._doc_lengths = [int(x) for x in doc_lengths]
+        index._doc_index = {d: i for i, d in enumerate(index._doc_ids) if d is not None}
+        index._free_slots = [i for i, d in enumerate(index._doc_ids) if d is None]
+        index._total_length = int(meta["total_length"])
+        index._norm = np.asarray(norm, dtype=np.float64)
+        index._seg = (
+            {term: i for i, term in enumerate(terms)},
+            np.asarray(idf, dtype=np.float64),
+            np.asarray(offsets, dtype=np.int64),
+            np.asarray(slots, dtype=np.int32),
+            np.asarray(tfs, dtype=np.float32),
+            np.asarray(contrib, dtype=np.float64),
+        )
+        index._stats_version = index._version
+        index._compiled_version = index._version
+        index._hydrated = True
+        return index
+
+    @property
+    def hydrated(self) -> bool:
+        """True when restored from a segment (search-only)."""
+        return self._hydrated
+
     def _refresh_stats(self) -> None:
         if self._stats_version == self._version:
             return
@@ -216,6 +330,23 @@ class BM25Index:
     def _term_entry(self, term: str) -> Optional[_TermEntry]:
         entry = self._entries.get(term)
         if entry is not None:
+            return entry
+        if self._seg is not None:
+            # Hydrated path: slice the term's postings out of the mapped
+            # flat arrays (zero-copy views) and memoize the entry.
+            rows, idf, offsets, slots, tfs, contrib = self._seg
+            row = rows.get(term)
+            if row is None:
+                return None
+            lo, hi = int(offsets[row]), int(offsets[row + 1])
+            entry = _TermEntry(
+                slots=slots[lo:hi],
+                tfs=tfs[lo:hi],
+                contrib=contrib[lo:hi],
+                idf=float(idf[row]),
+                max_score=float(contrib[lo]),
+            )
+            self._entries[term] = entry
             return entry
         posting = self._postings.get(term)
         if not posting:
@@ -250,6 +381,11 @@ class BM25Index:
 
     def score(self, query: str, doc_id: str) -> float:
         """BM25 score of one document for a query (0 if no term overlaps)."""
+        if self._hydrated:
+            raise RuntimeError(
+                "score() walks the mutable postings dicts, which a hydrated "
+                "index does not carry; use search()/search_batch()"
+            )
         slot = self._doc_index.get(doc_id)
         if slot is None:
             raise KeyError(f"document {doc_id!r} is not indexed")

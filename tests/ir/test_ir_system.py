@@ -69,6 +69,38 @@ class TestDocumentDatabase:
         assert len(loaded) == 2
         assert loaded.search("knowledge one", k=1)[0].payload["author"] == "u1"
 
+    def test_save_is_atomic_under_crash(self, tmp_path, monkeypatch):
+        """A crash mid-save leaves the previous file intact, never a torn one."""
+        import repro.ir.docdb as docdb_module
+        from repro.storage import CrashInjector, CrashSpec, SimulatedCrash
+        from repro.storage.atomic import atomic_write_json
+
+        db = DocumentDatabase()
+        db.add("the durable entry", topic="a")
+        path = tmp_path / "knowledge.json"
+        db.save(path)
+
+        injector = CrashInjector(CrashSpec.nth("atomic.before_rename"))
+        monkeypatch.setattr(
+            docdb_module,
+            "atomic_write_json",
+            lambda p, obj: atomic_write_json(p, obj, crash=injector),
+        )
+        db.add("the lost entry", topic="b")
+        with pytest.raises(SimulatedCrash):
+            db.save(path)
+        survivors = DocumentDatabase.load(path)
+        assert [e.text for e in survivors.entries()] == ["the durable entry"]
+
+    def test_recorder_hook_observes_every_capture(self):
+        db = DocumentDatabase()
+        seen = []
+        db.recorder = seen.append
+        db.add("first", topic="t", author="u")
+        db.add("second")
+        assert [r["text"] for r in seen] == ["first", "second"]
+        assert seen[0] == {"id": "k1", "text": "first", "topic": "t", "author": "u"}
+
 
 class TestIRSystem:
     def test_merges_sources(self, lake, web):

@@ -1,0 +1,141 @@
+"""Service-level persistence: warm starts, knowledge WAL, crash injection."""
+
+import pytest
+
+from repro.datasets import build_procurement_lake
+from repro.service import CrashSpec, FaultPlan, PneumaService
+from repro.storage import IndexStore, SimulatedCrash
+from repro.storage.store import CP_PUBLISH_AFTER_SEGMENTS
+
+QUERIES = ["tariff impact by supplier", "purchase orders", "supplier contact details"]
+QUESTION = "What is the total purchase order cost impact of the new tariffs by supplier?"
+
+
+def search_results(service, k=5):
+    return [
+        [(h.doc_id, h.score) for h in hits]
+        for hits in service.retriever.index.search_batch(QUERIES, k=k)
+    ]
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return tmp_path / "store"
+
+
+class TestWarmStart:
+    def test_cold_then_warm_bit_identical(self, store_dir):
+        svc = PneumaService(build_procurement_lake(), max_workers=2, storage_dir=store_dir)
+        assert not svc.warm_started
+        oracle = search_results(svc)
+        svc.shutdown(drain=True)
+
+        warm = PneumaService(build_procurement_lake(), max_workers=2, storage_dir=store_dir)
+        assert warm.warm_started
+        storage = warm.stats()["storage"]
+        assert storage["open_mode"] == "clean"
+        assert storage["warm_start"] is True
+        assert storage["opens"] == {"clean": 2, "recovered": 0}
+        # Bit-identical: no-crash persistence is transparent to retrieval.
+        assert search_results(warm) == oracle
+        # A warm-started index reports zero narration work.
+        assert warm.shared.build_report["indexed"] == 0
+        assert warm.shared.build_report["restored"] > 0
+        warm.shutdown(drain=True)
+
+    def test_warm_start_absorbs_new_table(self, store_dir):
+        svc = PneumaService(build_procurement_lake(), max_workers=2, storage_dir=store_dir)
+        svc.shutdown(drain=True)
+
+        lake = build_procurement_lake()
+        from repro.relational.table import Table
+
+        lake.register(
+            Table.from_columns("zebra_census", {"zebra_id": [1, 2], "stripes": [30, 44]})
+        )
+        warm = PneumaService(lake, max_workers=2, storage_dir=store_dir)
+        assert warm.warm_started
+        # Only the new table was narrated; the snapshot served the rest.
+        assert warm.shared.build_report["indexed"] == 1
+        hits = warm.retriever.index.search("zebra stripes census", k=3)
+        assert hits[0].doc_id == "zebra_census"
+        warm.shutdown(drain=True)
+
+    def test_turns_work_on_a_warm_start(self, store_dir):
+        svc = PneumaService(build_procurement_lake(), max_workers=2, storage_dir=store_dir)
+        svc.shutdown(drain=True)
+        warm = PneumaService(build_procurement_lake(), max_workers=2, storage_dir=store_dir)
+        sid = warm.open_session()
+        response = warm.post_turn(sid, QUESTION)
+        assert response.message
+        warm.close_session(sid)
+        warm.shutdown(drain=True)
+
+
+class TestKnowledgeDurability:
+    def test_journaled_capture_survives_crash(self, store_dir):
+        svc = PneumaService(build_procurement_lake(), max_workers=2, storage_dir=store_dir)
+        svc.knowledge.add("tariffs include direct and indirect", topic="tariffs")
+        svc.store.close()  # die without drain: no save, no clean marker
+
+        recovered = PneumaService(
+            build_procurement_lake(), max_workers=2, storage_dir=store_dir
+        )
+        assert recovered.stats()["storage"]["open_mode"] == "recovered"
+        texts = [e.text for e in recovered.knowledge.entries()]
+        assert "tariffs include direct and indirect" in texts
+        recovered.shutdown(drain=True)
+
+    def test_clean_shutdown_folds_into_save(self, store_dir):
+        svc = PneumaService(build_procurement_lake(), max_workers=2, storage_dir=store_dir)
+        svc.knowledge.add("saved knowledge", topic="t")
+        svc.shutdown(drain=True)
+        assert (store_dir / "knowledge.json").exists()
+
+        warm = PneumaService(build_procurement_lake(), max_workers=2, storage_dir=store_dir)
+        texts = [e.text for e in warm.knowledge.entries()]
+        assert texts.count("saved knowledge") == 1  # no WAL-replay duplicate
+        warm.shutdown(drain=True)
+
+
+class TestReindexPublish:
+    def test_reindex_publishes_through_journal(self, store_dir):
+        svc = PneumaService(build_procurement_lake(), max_workers=2, storage_dir=store_dir)
+        report = svc.reindex()
+        assert report["published_generation"] == 2  # gen 1 was the boot publish
+        assert svc.store.fsck()["ok"]
+        svc.shutdown(drain=True)
+
+    def test_crash_mid_reindex_preserves_previous_snapshot(self, store_dir):
+        svc = PneumaService(build_procurement_lake(), max_workers=2, storage_dir=store_dir)
+        oracle = search_results(svc)
+        svc.shutdown(drain=True)
+
+        plan = FaultPlan(storage=CrashSpec.nth(CP_PUBLISH_AFTER_SEGMENTS))
+        crashing = PneumaService(
+            build_procurement_lake(), max_workers=2, storage_dir=store_dir, fault_plan=plan
+        )
+        with pytest.raises(SimulatedCrash):
+            crashing.reindex()
+        # Do NOT shut down (the process died); recover from the directory.
+        recovered = PneumaService(
+            build_procurement_lake(), max_workers=2, storage_dir=store_dir
+        )
+        assert recovered.stats()["storage"]["open_mode"] == "recovered"
+        assert search_results(recovered) == oracle
+        assert recovered.store.fsck()["ok"]
+        recovered.shutdown(drain=True)
+
+
+class TestStats:
+    def test_storage_absent_without_store(self):
+        svc = PneumaService(build_procurement_lake(), max_workers=2)
+        assert "storage" not in svc.stats()
+        svc.shutdown()
+
+    def test_storage_block_shape(self, store_dir):
+        svc = PneumaService(build_procurement_lake(), max_workers=2, storage_dir=store_dir)
+        storage = svc.stats()["storage"]
+        for key in ("open_mode", "opens", "generation", "segments", "warm_start"):
+            assert key in storage
+        svc.shutdown(drain=True)

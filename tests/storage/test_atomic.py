@@ -1,0 +1,63 @@
+"""Atomic publish primitives: all-or-nothing under injected crashes."""
+
+import pytest
+
+from repro.storage import CrashInjector, CrashSpec, SimulatedCrash, atomic_write_bytes
+from repro.storage.atomic import (
+    CP_ATOMIC_AFTER_RENAME,
+    CP_ATOMIC_AFTER_TEMP,
+    CP_ATOMIC_BEFORE_RENAME,
+    atomic_write_json,
+)
+
+
+class TestAtomicWrite:
+    def test_replaces_contents(self, tmp_path):
+        target = tmp_path / "f.bin"
+        atomic_write_bytes(target, b"old")
+        atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+        assert list(tmp_path.glob(".*.tmp.*")) == []
+
+    def test_json_round_trip(self, tmp_path):
+        target = tmp_path / "f.json"
+        atomic_write_json(target, {"b": 1, "a": [2, 3]})
+        import json
+
+        assert json.loads(target.read_text()) == {"a": [2, 3], "b": 1}
+
+    @pytest.mark.parametrize("point", [CP_ATOMIC_AFTER_TEMP, CP_ATOMIC_BEFORE_RENAME])
+    def test_crash_before_rename_preserves_old_file(self, tmp_path, point):
+        target = tmp_path / "f.bin"
+        atomic_write_bytes(target, b"old")
+        with pytest.raises(SimulatedCrash):
+            atomic_write_bytes(target, b"new", crash=CrashInjector(CrashSpec.nth(point)))
+        assert target.read_bytes() == b"old"
+        # The dead process leaves its temp file; recovery sweeps it.
+        assert len(list(tmp_path.glob(".*.tmp.*"))) == 1
+
+    def test_crash_after_rename_has_new_file(self, tmp_path):
+        target = tmp_path / "f.bin"
+        atomic_write_bytes(target, b"old")
+        with pytest.raises(SimulatedCrash):
+            atomic_write_bytes(
+                target, b"new", crash=CrashInjector(CrashSpec.nth(CP_ATOMIC_AFTER_RENAME))
+            )
+        assert target.read_bytes() == b"new"
+
+    def test_io_error_cleans_temp(self, tmp_path):
+        target = tmp_path / "f.bin"
+
+        class Boom(RuntimeError):
+            pass
+
+        class Exploder(CrashInjector):
+            def reach(self, point):
+                if point == CP_ATOMIC_BEFORE_RENAME:
+                    raise Boom()
+
+        with pytest.raises(Boom):
+            atomic_write_bytes(target, b"x", crash=Exploder(CrashSpec.none()))
+        # Non-crash failures (the process is alive) clean up after themselves.
+        assert list(tmp_path.glob(".*.tmp.*")) == []
+        assert not target.exists()

@@ -1,0 +1,129 @@
+"""The deterministic crash-recovery matrix — the harness the subsystem
+exists for.
+
+Every registered crash point is exercised in three store lifecycles:
+
+* **cold**  — first ever publish into an empty store;
+* **warm**  — open over a published snapshot, load it, checkpoint;
+* **mid-reindex** — publish a *second* generation over a live snapshot.
+
+For each cell the operation runs with an injector armed to die at that
+point; the test then re-opens the directory exactly as a restarted
+process would (fresh injector, nothing armed) and asserts:
+
+1. recovery succeeds — the open never raises, fsck passes;
+2. retrieval is **bit-identical** to one of the two legal oracles (the
+   state before the operation, or after it — atomicity means nothing in
+   between can be observed);
+3. retrying the operation after recovery converges on the post-state;
+4. the whole schedule is deterministic: the same spec produces the same
+   outcome twice.
+
+Adding a crash point to any write path automatically adds its row here
+(the matrix parametrizes over ``all_crash_points()``).
+"""
+
+import pytest
+
+from repro.retriever.index import HybridIndex
+from repro.storage import (
+    CrashInjector,
+    CrashSpec,
+    IndexStore,
+    SimulatedCrash,
+    all_crash_points,
+)
+
+DOCS_V1 = [(f"doc{i}", f"table finance tariffs row {i}") for i in range(30)]
+DOCS_V2 = DOCS_V1[:-5] + [(f"new{i}", f"table supplier orders row {i}") for i in range(8)]
+QUERIES = ["tariff finance", "supplier orders", "row 7"]
+
+
+def frozen(docs):
+    index = HybridIndex(dim=32, seed=4)
+    index.add_batch(docs)
+    return index.freeze()
+
+
+def results(index):
+    if index is None:
+        return None
+    return [
+        [(h.doc_id, h.score) for h in hits] for hits in index.search_batch(QUERIES, k=5)
+    ]
+
+
+ORACLE_V1 = results(frozen(DOCS_V1))
+ORACLE_V2 = results(frozen(DOCS_V2))
+
+
+def run_scenario(root, scenario, spec):
+    """Run one lifecycle with ``spec`` armed; returns the crash point that
+    fired ('' when the operation completed untouched)."""
+    if scenario in ("warm", "mid-reindex"):
+        # Seed the durable pre-state with no injection.
+        with IndexStore(root) as store:
+            store.publish(frozen(DOCS_V1))
+            store.checkpoint(clean=True)
+    injector = CrashInjector(spec)
+    try:
+        store = IndexStore(root, crash=injector)
+        if scenario == "cold":
+            store.publish(frozen(DOCS_V1))
+        elif scenario == "warm":
+            store.load_index()
+            store.checkpoint(clean=False)
+        else:  # mid-reindex: second generation over a live snapshot
+            store.publish(frozen(DOCS_V2))
+        store.checkpoint(clean=True)
+    except SimulatedCrash:
+        pass  # the "process" died; the directory is what recovery sees
+    return injector.crashed
+
+
+SCENARIOS = {
+    "cold": (None, ORACLE_V1),
+    "warm": (ORACLE_V1, ORACLE_V1),
+    "mid-reindex": (ORACLE_V1, ORACLE_V2),
+}
+
+
+@pytest.mark.parametrize("point", all_crash_points())
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_crash_recovery_is_bit_identical(tmp_path, scenario, point):
+    pre_oracle, post_oracle = SCENARIOS[scenario]
+    root = tmp_path / "store"
+    crashed = run_scenario(root, scenario, CrashSpec.nth(point))
+
+    # Recovery: re-open exactly as a restarted process would.
+    recovered = IndexStore(root)
+    assert recovered.fsck()["ok"], recovered.fsck()
+    observed = results(recovered.load_index())
+    legal = [pre_oracle, post_oracle]
+    assert observed in legal, f"recovered state matches neither oracle after {crashed or point!r}"
+    if not crashed:
+        # The point was never on this path: the operation completed.
+        assert observed == post_oracle
+
+    # Retrying the interrupted operation converges on the post-state.
+    target = frozen(DOCS_V2) if scenario == "mid-reindex" else frozen(DOCS_V1)
+    if observed != post_oracle:
+        recovered.publish(target)
+    recovered.checkpoint(clean=True)
+    final = IndexStore(root)
+    assert final.open_mode == "clean"
+    assert results(final.load_index()) == post_oracle
+    assert final.fsck()["ok"]
+    final.close()
+
+
+@pytest.mark.parametrize("point", all_crash_points())
+def test_crash_schedule_is_deterministic(tmp_path, point):
+    """Same spec, same scenario → same fired point and same on-disk verdict."""
+    outcomes = []
+    for run in range(2):
+        root = tmp_path / f"run{run}"
+        crashed = run_scenario(root, "mid-reindex", CrashSpec.nth(point))
+        with IndexStore(root) as recovered:
+            outcomes.append((crashed, results(recovered.load_index()) == ORACLE_V2))
+    assert outcomes[0] == outcomes[1]

@@ -1,0 +1,300 @@
+"""Observability cost and coverage: transparency, overhead, complete traces.
+
+The claims under test (ISSUE 9's tentpole):
+
+1. **Bit-transparency** — a service with tracing disabled (or no
+   observability config at all) produces byte-identical responses to the
+   traced one: instrumentation must never change behavior, only record it.
+2. **Overhead** — tracing every turn costs <= 5% wall-clock on the mixed
+   conversation workload (best-of-N, fresh service per measurement).
+3. **Completeness** — 100% of traced turns yield a span tree containing
+   the stages the turn actually executed: an ``llm.complete`` span always,
+   ``retrieval.search`` when the Conductor retrieved, ``sql.execute`` when
+   it ran Q.
+4. **Slow-turn capture** — with the threshold at zero every turn's span
+   tree is retained as an exemplar, bounded by the log's capacity.
+
+Writes ``BENCH_observability.json``.  Also runnable standalone:
+
+    PYTHONPATH=src python benchmarks/bench_observability.py --smoke
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import build_procurement_lake
+from repro.service import ObservabilityConfig, PneumaService
+
+# A mixed workload by design: the first question takes the clarification
+# path (retrieval only), the second drives the full update-state /
+# materialize / execute-SQL pipeline — so span-tree completeness is
+# checked on both shapes.
+CONVERSATION = [
+    "What is the total purchase order cost impact of the new tariffs by supplier?",
+    "What is the total price of purchase orders by supplier?",
+]
+
+OVERHEAD_CEILING_PCT = 5.0
+
+
+def _serve_rounds(service, session_ids, rounds: int) -> list:
+    """Drive ``rounds`` repetitions of the conversation, sequentially."""
+    responses = []
+    for _ in range(rounds):
+        for message in CONVERSATION:
+            for sid in session_ids:
+                responses.append(service.post_turn(sid, message))
+    return responses
+
+
+# ----------------------------------------------------------------------
+# Scenario 1: tracing off (or absent) is bit-transparent
+# ----------------------------------------------------------------------
+def run_transparency(sessions: int) -> dict:
+    def transcript(observability):
+        # A fresh lake per run: the comparison must see identical inputs.
+        out = []
+        with PneumaService(
+            build_procurement_lake(), max_workers=4, observability=observability
+        ) as service:
+            session_ids = [service.open_session(user=f"u{i}") for i in range(sessions)]
+            for message in CONVERSATION:
+                for sid in session_ids:
+                    response = service.post_turn(sid, message)
+                    out.append((response.message, response.state_view, response.degraded))
+        return out
+
+    unconfigured = transcript(None)
+    disabled = transcript(ObservabilityConfig(tracing=False))
+    traced = transcript(ObservabilityConfig())
+    return {
+        "turns": len(unconfigured),
+        "disabled_identical": disabled == unconfigured,
+        "traced_identical": traced == unconfigured,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario 2: tracing costs <= 5% turn throughput
+# ----------------------------------------------------------------------
+def _measure(observability, sessions: int, rounds: int, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock for the turn loop (build excluded)."""
+    best = float("inf")
+    for _ in range(repeats):
+        with PneumaService(
+            build_procurement_lake(), max_workers=4, observability=observability
+        ) as service:
+            session_ids = [service.open_session(user=f"u{i}") for i in range(sessions)]
+            _serve_rounds(service, session_ids, rounds=1)  # warm caches/plans
+            started = time.perf_counter()
+            _serve_rounds(service, session_ids, rounds=rounds)
+            best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_overhead(sessions: int, rounds: int, repeats: int) -> dict:
+    turns = sessions * rounds * len(CONVERSATION)
+    traced = ObservabilityConfig(max_traces=max(256, turns + sessions))
+    off_seconds = _measure(None, sessions, rounds, repeats)
+    on_seconds = _measure(traced, sessions, rounds, repeats)
+    return {
+        "turns_per_measurement": turns,
+        "repeats": repeats,
+        "tracing_off_seconds": off_seconds,
+        "tracing_on_seconds": on_seconds,
+        "overhead_pct": (on_seconds - off_seconds) / off_seconds * 100.0,
+        "off_turns_per_second": turns / off_seconds,
+        "on_turns_per_second": turns / on_seconds,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenario 3: every traced turn's span tree is complete
+# ----------------------------------------------------------------------
+def run_completeness(sessions: int, rounds: int) -> dict:
+    turns = sessions * rounds * len(CONVERSATION)
+    observability = ObservabilityConfig(max_traces=turns + 8, slow_turn_seconds=0.0)
+    with PneumaService(
+        build_procurement_lake(), max_workers=4, observability=observability
+    ) as service:
+        session_ids = [service.open_session(user=f"u{i}") for i in range(sessions)]
+        responses = _serve_rounds(service, session_ids, rounds)
+        traces = service.tracer.traces("turn")
+        obs_stats = service.stats()["obs"]
+
+    # Sequential posting means finish order == post order, so trace i is
+    # turn i; each turn's log says which stages actually ran.
+    assert len(traces) == len(responses), "every turn must leave a finished trace"
+    complete = 0
+    sql_turns = retrieval_turns = 0
+    stage_seconds = {"llm": 0.0, "retrieval": 0.0, "sql": 0.0}
+    for response, root in zip(responses, traces):
+        kinds = {action["kind"] for action in response.turn_log.actions}
+        names = set(root.span_names())
+        ok = "llm.complete" in names
+        if "retrieve" in kinds:
+            retrieval_turns += 1
+            ok = ok and "retrieval.search" in names
+        if "execute_sql" in kinds:
+            sql_turns += 1
+            ok = ok and "sql.execute" in names
+        complete += ok
+        for span in root.iter_spans():
+            if span.name == "llm.complete":
+                stage_seconds["llm"] += span.duration
+            elif span.name == "retrieval.search":
+                stage_seconds["retrieval"] += span.duration
+            elif span.name == "sql.execute":
+                stage_seconds["sql"] += span.duration
+    return {
+        "turns": len(responses),
+        "complete": complete,
+        "retrieval_turns": retrieval_turns,
+        "sql_turns": sql_turns,
+        "spans_recorded": obs_stats["tracer"]["spans_recorded"],
+        "stage_seconds": stage_seconds,
+        "slow_turns_offered": obs_stats["slow_turns"]["offered"],
+        "slow_turns_held": obs_stats["slow_turns"]["held"],
+        "slow_log_capacity": obs_stats["slow_turns"]["capacity"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def report(label: str, r: dict) -> None:
+    transparency, overhead, completeness = r["transparency"], r["overhead"], r["completeness"]
+    print()
+    print(f"Observability ({label}):")
+    print(
+        f"  transparent  tracing-off identical over {transparency['turns']} turns: "
+        f"{transparency['disabled_identical']} (and traced responses identical: "
+        f"{transparency['traced_identical']})"
+    )
+    print(
+        f"  overhead     {overhead['overhead_pct']:+.2f}% "
+        f"({overhead['off_turns_per_second']:.0f} -> "
+        f"{overhead['on_turns_per_second']:.0f} turns/s over "
+        f"{overhead['turns_per_measurement']} turns, best of {overhead['repeats']})"
+    )
+    stage = completeness["stage_seconds"]
+    print(
+        f"  complete     {completeness['complete']}/{completeness['turns']} span trees "
+        f"carry their executed stages "
+        f"({completeness['retrieval_turns']} retrieval / {completeness['sql_turns']} sql turns, "
+        f"{completeness['spans_recorded']} spans; "
+        f"llm {stage['llm'] * 1000:.1f}ms, retrieval {stage['retrieval'] * 1000:.1f}ms, "
+        f"sql {stage['sql'] * 1000:.1f}ms)"
+    )
+    print(
+        f"  slow-turn    {completeness['slow_turns_held']}/"
+        f"{completeness['slow_turns_offered']} offered turns retained "
+        f"(capacity {completeness['slow_log_capacity']})"
+    )
+
+
+def write_json(label: str, r: dict, path: Path) -> None:
+    payload = {"benchmark": "observability", "mode": label, "results": r}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"  wrote {path}")
+
+
+def _assert_criteria(r: dict) -> None:
+    transparency, overhead, completeness = r["transparency"], r["overhead"], r["completeness"]
+    assert transparency["disabled_identical"], (
+        "tracing disabled must be bit-transparent (identical responses)"
+    )
+    assert transparency["traced_identical"], (
+        "tracing enabled must not change responses, only record them"
+    )
+    assert overhead["overhead_pct"] <= OVERHEAD_CEILING_PCT, (
+        f"tracing overhead {overhead['overhead_pct']:.2f}% exceeds the "
+        f"{OVERHEAD_CEILING_PCT:.0f}% ceiling"
+    )
+    assert completeness["complete"] == completeness["turns"], (
+        f"only {completeness['complete']}/{completeness['turns']} turns produced "
+        "complete span trees"
+    )
+    assert completeness["retrieval_turns"] > 0 and completeness["sql_turns"] > 0, (
+        "the workload must exercise both the retrieval and SQL stages"
+    )
+    assert completeness["spans_recorded"] > completeness["turns"], (
+        "traced turns must record child spans, not just roots"
+    )
+    assert completeness["slow_turns_offered"] == completeness["turns"]
+    assert completeness["slow_turns_held"] == min(
+        completeness["turns"], completeness["slow_log_capacity"]
+    ), "with threshold 0 the slow-turn log keeps every turn up to capacity"
+
+
+def run_all(sessions: int, rounds: int, repeats: int) -> dict:
+    return {
+        "transparency": run_transparency(sessions=2),
+        "overhead": run_overhead(sessions=sessions, rounds=rounds, repeats=repeats),
+        "completeness": run_completeness(sessions=sessions, rounds=rounds),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+@pytest.mark.smoke
+def test_smoke_observability():
+    """Tiny-N smoke: all four observability claims on the procurement lake."""
+    r = run_all(sessions=2, rounds=2, repeats=2)
+    report("smoke", r)
+    write_json("smoke", r, Path("BENCH_observability.json"))
+    _assert_criteria(r)
+
+
+def test_observability(benchmark):
+    """Full scale: larger workload, more repeats for a stable overhead number."""
+    r = run_all(sessions=6, rounds=4, repeats=3)
+    report("6 sessions x 8 turns", r)
+    write_json("full", r, Path("BENCH_observability.json"))
+    _assert_criteria(r)
+
+    # Time the traced serving path end to end.
+    benchmark(lambda: run_completeness(sessions=2, rounds=2))
+
+
+# ----------------------------------------------------------------------
+# standalone entry point
+# ----------------------------------------------------------------------
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny N, finishes in seconds")
+    parser.add_argument("--sessions", type=int, default=None, help="overhead-workload sessions")
+    parser.add_argument(
+        "--json", type=Path, default=Path("BENCH_observability.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+
+    if args.smoke:
+        sessions = args.sessions if args.sessions is not None else 2
+        rounds, repeats = 2, 2
+        label = "smoke"
+    else:
+        sessions = args.sessions if args.sessions is not None else 6
+        rounds, repeats = 4, 3
+        label = f"{sessions} sessions"
+    if sessions < 1:
+        parser.error("--sessions must be >= 1")
+
+    r = run_all(sessions=sessions, rounds=rounds, repeats=repeats)
+    report(label, r)
+    write_json(label, r, args.json)
+    _assert_criteria(r)
+    print(
+        f"OK: tracing-off bit-identical, overhead <= {OVERHEAD_CEILING_PCT:.0f}%, "
+        "100% complete span trees, slow-turn capture bounded"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Observability demo: serve a few turns, then read the telemetry.
+
+Boots a traced :class:`PneumaService` over the procurement lake, runs a
+short mixed conversation across two sessions, and prints what the
+observability subsystem collected: the Prometheus metrics exposition,
+the tracer/slow-turn-log accounting from ``stats()["obs"]``, and the
+slowest turn's full span tree.
+
+Run:  PYTHONPATH=src python examples/observability_demo.py
+"""
+
+from repro.datasets.procurement import build_procurement_lake
+from repro.obs import render_span_tree
+from repro.service import ObservabilityConfig, PneumaService
+
+CONVERSATION = [
+    "What is the total purchase order cost impact of the new tariffs by supplier?",
+    "Now restrict it to orders from ACME.",
+]
+
+
+def main() -> None:
+    observability = ObservabilityConfig(slow_turn_seconds=0.0)  # keep every turn
+    with PneumaService(
+        build_procurement_lake(), max_workers=4, observability=observability
+    ) as service:
+        for user in ("alice", "bob"):
+            session = service.open_session(user=user)
+            for message in CONVERSATION:
+                service.post_turn(session, message)
+            service.close_session(session)
+
+        print("=" * 72)
+        print("METRICS  (PneumaService.metrics_text, Prometheus exposition)")
+        print("=" * 72)
+        print(service.metrics_text())
+
+        print("=" * 72)
+        print("OBSERVABILITY ACCOUNTING  (stats()['obs'])")
+        print("=" * 72)
+        obs_stats = service.stats()["obs"]
+        print(f"tracer:     {obs_stats['tracer']}")
+        print(f"slow turns: {obs_stats['slow_turns']}")
+        print()
+
+        print("=" * 72)
+        print("SLOWEST TURN  (full span tree from the slow-turn log)")
+        print("=" * 72)
+        slowest = service.slow_turns.slowest()
+        print(render_span_tree(slowest.to_json()))
+
+
+if __name__ == "__main__":
+    main()

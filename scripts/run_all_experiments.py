@@ -138,6 +138,16 @@ def main() -> None:
     )
     print()
 
+    # --------------------------------------------------- Observability cost
+    # Tracing transparency, <=5% overhead, span-tree completeness, and
+    # slow-turn capture; writes BENCH_observability.json.
+    observability = repo_root / "benchmarks" / "bench_observability.py"
+    observability_args = [sys.executable, str(observability)]
+    if not args.full_table1:
+        observability_args.append("--smoke")
+    subprocess.run(observability_args, check=True, env=env, cwd=repo_root)
+    print()
+
     print(f"All experiments finished in {time.time() - started:.1f}s")
 
 

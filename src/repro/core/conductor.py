@@ -17,6 +17,7 @@ from ..ir.system import IRSystem
 from ..llm.clock import TOOL_CALL_SECONDS
 from ..llm.prompts import parse_response, render_prompt
 from ..llm.rule_llm import RuleLLM
+from ..obs import trace as obs
 from .actions import (
     Action,
     ExecuteSQL,
@@ -134,6 +135,10 @@ class Conductor:
     # ------------------------------------------------------------------
     def _execute(self, action: Action, log: TurnLog) -> Optional[str]:
         """Run one action; returns the user message when the turn ends."""
+        with obs.span(f"action.{action.kind}"):
+            return self._execute_action(action, log)
+
+    def _execute_action(self, action: Action, log: TurnLog) -> Optional[str]:
         if isinstance(action, MessageUser):
             return action.message
         if isinstance(action, Reason):

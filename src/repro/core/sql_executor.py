@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..obs import trace as obs
 from ..relational.catalog import Database
 from ..relational.errors import RelationalError
 from ..relational.table import Table
@@ -40,10 +41,12 @@ class SQLExecutor:
         self.database = database
 
     def execute(self, sql: str) -> SQLResult:
-        try:
-            return SQLResult(sql=sql, table=self.database.execute(sql))
-        except RelationalError as exc:
-            return SQLResult(sql=sql, error=f"{type(exc).__name__}: {exc}")
+        with obs.span("sql.execute") as sp:
+            try:
+                return SQLResult(sql=sql, table=self.database.execute(sql))
+            except RelationalError as exc:
+                sp.set_attr("error", type(exc).__name__)
+                return SQLResult(sql=sql, error=f"{type(exc).__name__}: {exc}")
 
     def plan_cache_stats(self) -> dict:
         """Hit/miss counters of the backing database's plan cache."""

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..documents.document import Document
 from ..ir.docdb import DocumentDatabase
+from ..obs import trace as obs
 from ..ir.web import WebSearch
 from ..retriever.retriever import PneumaRetriever
 
@@ -100,7 +101,9 @@ class IRSystem:
         per_source: Dict[str, int] = {}
         for name in sorted(self._sources):
             k = k_tables if name == "tables" else k_other
-            docs = self._sources[name](query, k)
+            with obs.span(f"ir.source.{name}", k=k) as sp:
+                docs = self._sources[name](query, k)
+                sp.set_attr("documents", len(docs))
             per_source[name] = len(docs)
             documents.extend(docs)
         return RetrievalResult(query=query, documents=documents, per_source=per_source)
@@ -123,11 +126,12 @@ class IRSystem:
         for name in sorted(self._sources):
             k = k_tables if name == "tables" else k_other
             batch_fn = self._batch_sources.get(name)
-            if batch_fn is not None:
-                batches = batch_fn(queries, k)
-            else:
-                fn = self._sources[name]
-                batches = [fn(q, k) for q in queries]
+            with obs.span(f"ir.source.{name}", k=k, queries=len(queries)):
+                if batch_fn is not None:
+                    batches = batch_fn(queries, k)
+                else:
+                    fn = self._sources[name]
+                    batches = [fn(q, k) for q in queries]
             for i, docs in enumerate(batches):
                 per_source[i][name] = len(docs)
                 merged[i].extend(docs)

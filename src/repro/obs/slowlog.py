@@ -1,0 +1,108 @@
+"""Slow-turn capture: retain full span trees of anomalous turns.
+
+The tracer's ring buffer keeps the *most recent* traces; under heavy
+traffic a slow or failed turn is evicted within seconds.  The slow-turn
+log keeps the *interesting* ones: any turn whose latency exceeds a
+configurable threshold, or whose outcome is failed/degraded/shed, has
+its whole span tree retained as an exemplar.  The log is bounded — when
+full, a new exemplar evicts the least interesting retained one (fastest
+``ok``-outcome first), so the worst turns survive arbitrarily long runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .trace import Span
+
+__all__ = ["SlowTurnLog"]
+
+#: Outcomes always retained regardless of latency.
+ANOMALOUS_OUTCOMES = frozenset({"failed", "degraded", "shed"})
+
+
+class SlowTurnLog:
+    """Bounded store of exemplar turn traces.
+
+    ``offer()`` is called once per traced turn with the finished root
+    span and the turn's outcome classification; the log decides whether
+    the trace is worth keeping.
+    """
+
+    def __init__(self, threshold_seconds: float = 0.5, capacity: int = 32):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.threshold_seconds = threshold_seconds
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: List[Dict[str, Any]] = []
+        self._offered = 0
+        self._retained = 0
+
+    def offer(self, root: Span, outcome: str) -> bool:
+        """Consider one finished turn trace; returns True if retained."""
+        duration = root.duration
+        interesting = outcome in ANOMALOUS_OUTCOMES or duration >= self.threshold_seconds
+        with self._lock:
+            self._offered += 1
+            if not interesting:
+                return False
+            entry = {"outcome": outcome, "duration": duration, "root": root}
+            if len(self._entries) >= self.capacity:
+                victim = min(range(len(self._entries)), key=self._keep_priority)
+                if self._keep_priority(victim) >= self._priority(entry):
+                    return False  # everything retained is at least as interesting
+                del self._entries[victim]
+            self._entries.append(entry)
+            self._retained += 1
+            return True
+
+    def _keep_priority(self, index: int) -> tuple:
+        return self._priority(self._entries[index])
+
+    @staticmethod
+    def _priority(entry: Dict[str, Any]) -> tuple:
+        # Anomalous outcomes outrank merely-slow ok turns; ties break on
+        # duration, so the fastest ok exemplar is evicted first.
+        return (entry["outcome"] in ANOMALOUS_OUTCOMES, entry["duration"])
+
+    # ------------------------------------------------------------------
+    def exemplars(self) -> List[Dict[str, Any]]:
+        """Retained entries, slowest/most-anomalous first."""
+        with self._lock:
+            entries = list(self._entries)
+        return sorted(entries, key=self._priority, reverse=True)
+
+    def slowest(self) -> Optional[Span]:
+        entries = self.exemplars()
+        return entries[0]["root"] if entries else None
+
+    def dump_jsonl(self, path: Union[str, Path]) -> int:
+        """One JSON object per exemplar (outcome + span tree); returns count."""
+        entries = self.exemplars()
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                record = {
+                    "outcome": entry["outcome"],
+                    "duration": entry["duration"],
+                    "trace": entry["root"].to_json(),
+                }
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(entries)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            outcomes: Dict[str, int] = {}
+            for entry in self._entries:
+                outcomes[entry["outcome"]] = outcomes.get(entry["outcome"], 0) + 1
+            return {
+                "threshold_seconds": self.threshold_seconds,
+                "capacity": self.capacity,
+                "offered": self._offered,
+                "retained": self._retained,
+                "held": len(self._entries),
+                "held_by_outcome": outcomes,
+            }

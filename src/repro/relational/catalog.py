@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, List, Optional
 
+from ..obs import trace as obs
 from . import ast
 from .errors import CatalogError
 from .executor import Executor
@@ -106,12 +107,16 @@ class Database:
             key = (self._plan_ns, normalized, self._version)
             plan = self._plan_cache.get(key)
             if plan is None:
-                stmt = parse(sql)
-                if not isinstance(stmt, ast.Select):  # e.g. odd whitespace-free DDL
-                    return execute_statement_planned(self, stmt)
-                plan = plan_select(self, stmt)
-                self._plan_cache.put(key, plan)
-            return run_plan(plan, self)
+                with obs.span("sql.plan", cache="miss"):
+                    stmt = parse(sql)
+                    if not isinstance(stmt, ast.Select):  # e.g. odd whitespace-free DDL
+                        return execute_statement_planned(self, stmt)
+                    plan = plan_select(self, stmt)
+                    self._plan_cache.put(key, plan)
+            else:
+                obs.event("plan_cache_hit")
+            with obs.span("sql.run"):
+                return run_plan(plan, self)
         return execute_statement_planned(self, parse(sql))
 
     def execute_script(self, sql: str) -> List[Table]:

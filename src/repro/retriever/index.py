@@ -30,6 +30,7 @@ import numpy as np
 
 from ..ann.hnsw import HNSWIndex
 from ..ann.hnsw_legacy import LegacyHNSWIndex
+from ..obs import trace as obs
 from ..text.bm25 import BM25Index
 from ..text.bm25_legacy import LegacyBM25Index
 from ..text.embedding import HashingEmbedder
@@ -282,41 +283,44 @@ class HybridIndex:
         bm25_lists: Sequence[np.ndarray] = [empty] * n
         vector_lists: Sequence[np.ndarray] = [empty] * n
         if mode in ("hybrid", "bm25"):
-            bm25_lists = self.bm25.search_slots(queries, k=pool)
+            with obs.span("retrieval.bm25", queries=n, pool=pool):
+                bm25_lists = self.bm25.search_slots(queries, k=pool)
         if mode in ("hybrid", "vector"):
-            vectors = self.embedder.embed_batch(queries)
-            vector_lists = self.vectors.search_batch_ids(vectors, k=pool)
+            with obs.span("retrieval.vector", queries=n, pool=pool):
+                vectors = self.embedder.embed_batch(queries)
+                vector_lists = self.vectors.search_batch_ids(vectors, k=pool)
 
         bm25_map, vector_map, doc_list = self._bm25_map, self._vector_map, self._doc_list
         results: List[List[HybridHit]] = []
-        for bm25_ids, vector_ids in zip(bm25_lists, vector_lists):
-            fused: Dict[int, float] = {}
-            bm25_ranks: Dict[int, int] = {}
-            vector_ranks: Dict[int, int] = {}
-            for rank, slot in enumerate(bm25_ids.tolist()):
-                hybrid = int(bm25_map[slot])
-                bm25_ranks[hybrid] = rank
-                fused[hybrid] = fused.get(hybrid, 0.0) + self.bm25_weight / (
-                    self.rrf_k + rank + 1
-                )
-            for rank, node in enumerate(vector_ids.tolist()):
-                hybrid = int(vector_map[node])
-                vector_ranks[hybrid] = rank
-                fused[hybrid] = fused.get(hybrid, 0.0) + self.vector_weight / (
-                    self.rrf_k + rank + 1
-                )
-            ranked = sorted(fused.items(), key=lambda kv: (-kv[1], doc_list[kv[0]]))
-            results.append(
-                [
-                    HybridHit(
-                        doc_list[hybrid],
-                        score,
-                        bm25_rank=bm25_ranks.get(hybrid),
-                        vector_rank=vector_ranks.get(hybrid),
+        with obs.span("retrieval.fusion", queries=n):
+            for bm25_ids, vector_ids in zip(bm25_lists, vector_lists):
+                fused: Dict[int, float] = {}
+                bm25_ranks: Dict[int, int] = {}
+                vector_ranks: Dict[int, int] = {}
+                for rank, slot in enumerate(bm25_ids.tolist()):
+                    hybrid = int(bm25_map[slot])
+                    bm25_ranks[hybrid] = rank
+                    fused[hybrid] = fused.get(hybrid, 0.0) + self.bm25_weight / (
+                        self.rrf_k + rank + 1
                     )
-                    for hybrid, score in ranked[:k]
-                ]
-            )
+                for rank, node in enumerate(vector_ids.tolist()):
+                    hybrid = int(vector_map[node])
+                    vector_ranks[hybrid] = rank
+                    fused[hybrid] = fused.get(hybrid, 0.0) + self.vector_weight / (
+                        self.rrf_k + rank + 1
+                    )
+                ranked = sorted(fused.items(), key=lambda kv: (-kv[1], doc_list[kv[0]]))
+                results.append(
+                    [
+                        HybridHit(
+                            doc_list[hybrid],
+                            score,
+                            bm25_rank=bm25_ranks.get(hybrid),
+                            vector_rank=vector_ranks.get(hybrid),
+                        )
+                        for hybrid, score in ranked[:k]
+                    ]
+                )
         return results
 
     def _search_batch_keys(
@@ -327,34 +331,39 @@ class HybridIndex:
         batch_bm25: List[Dict[str, int]] = [{} for _ in queries]
         batch_vector: List[Dict[str, int]] = [{} for _ in queries]
         if mode in ("hybrid", "bm25"):
-            for ranks, hits in zip(batch_bm25, self.bm25.search_batch(queries, k=pool)):
-                for rank, hit in enumerate(hits):
-                    ranks[hit.doc_id] = rank
+            with obs.span("retrieval.bm25", queries=len(queries), pool=pool):
+                for ranks, hits in zip(batch_bm25, self.bm25.search_batch(queries, k=pool)):
+                    for rank, hit in enumerate(hits):
+                        ranks[hit.doc_id] = rank
         if mode in ("hybrid", "vector"):
-            vectors = self.embedder.embed_batch(queries)
-            for ranks, hits in zip(batch_vector, self.vectors.search_batch(vectors, k=pool)):
-                for rank, hit in enumerate(hits):
-                    ranks[hit.key] = rank
+            with obs.span("retrieval.vector", queries=len(queries), pool=pool):
+                vectors = self.embedder.embed_batch(queries)
+                for ranks, hits in zip(batch_vector, self.vectors.search_batch(vectors, k=pool)):
+                    for rank, hit in enumerate(hits):
+                        ranks[hit.key] = rank
 
         results: List[List[HybridHit]] = []
-        for bm25_ranks, vector_ranks in zip(batch_bm25, batch_vector):
-            fused: Dict[str, float] = {}
-            for doc_id, rank in bm25_ranks.items():
-                fused[doc_id] = fused.get(doc_id, 0.0) + self.bm25_weight / (self.rrf_k + rank + 1)
-            for doc_id, rank in vector_ranks.items():
-                fused[doc_id] = (
-                    fused.get(doc_id, 0.0) + self.vector_weight / (self.rrf_k + rank + 1)
-                )
-            ranked = sorted(fused.items(), key=lambda kv: (-kv[1], kv[0]))
-            results.append(
-                [
-                    HybridHit(
-                        doc_id,
-                        score,
-                        bm25_rank=bm25_ranks.get(doc_id),
-                        vector_rank=vector_ranks.get(doc_id),
+        with obs.span("retrieval.fusion", queries=len(queries)):
+            for bm25_ranks, vector_ranks in zip(batch_bm25, batch_vector):
+                fused: Dict[str, float] = {}
+                for doc_id, rank in bm25_ranks.items():
+                    fused[doc_id] = (
+                        fused.get(doc_id, 0.0) + self.bm25_weight / (self.rrf_k + rank + 1)
                     )
-                    for doc_id, score in ranked[:k]
-                ]
-            )
+                for doc_id, rank in vector_ranks.items():
+                    fused[doc_id] = (
+                        fused.get(doc_id, 0.0) + self.vector_weight / (self.rrf_k + rank + 1)
+                    )
+                ranked = sorted(fused.items(), key=lambda kv: (-kv[1], kv[0]))
+                results.append(
+                    [
+                        HybridHit(
+                            doc_id,
+                            score,
+                            bm25_rank=bm25_ranks.get(doc_id),
+                            vector_rank=vector_ranks.get(doc_id),
+                        )
+                        for doc_id, score in ranked[:k]
+                    ]
+                )
         return results

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..documents.document import Document
 from ..llm.interface import TransientDependencyError
+from ..obs import trace as obs
 from ..relational.catalog import Database
 from .index import HybridIndex
 from .summarizer import NarrationCache, table_fingerprint, table_payload
@@ -165,6 +166,7 @@ class PneumaRetriever:
                 return batches, False
         # Dense half down (circuit open, or this very call failed):
         # lexical-only answers beat failed turns.
+        obs.event("degraded_retrieval", breaker_state=breaker.state)
         batches = self.index.search_batch(queries, k=k, mode="bm25")
         self.degraded_serves += 1
         if self._on_degraded is not None:

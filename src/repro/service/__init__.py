@@ -7,6 +7,7 @@ breakers, degraded retrieval, and a deterministic fault-injection
 harness.  See :class:`PneumaService` for the serving API.
 """
 
+from ..obs import MetricsRegistry, ObservabilityConfig, SlowTurnLog, Tracer
 from .faults import (
     CrashSpec,
     FaultPlan,
@@ -50,6 +51,10 @@ __all__ = [
     "ManagedSession",
     "ServiceMetrics",
     "percentile",
+    "ObservabilityConfig",
+    "MetricsRegistry",
+    "Tracer",
+    "SlowTurnLog",
     "SharedIndexBundle",
     "IndexGate",
     "SwappableRetriever",

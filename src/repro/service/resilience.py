@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..llm.interface import is_retryable
+from ..obs import trace as obs
 
 __all__ = [
     "DependencyUnavailable",
@@ -215,33 +216,45 @@ class ResilientLLM:
         return self._inner.model_name
 
     def complete(self, prompt: str, component: str = "") -> str:
-        attempt = 0
-        while True:
-            if self.breaker is not None and not self.breaker.allow():
-                raise DependencyUnavailable(
-                    self.breaker.dependency,
-                    f"{self.breaker.dependency} circuit open; call refused",
-                )
-            try:
-                response = self._inner.complete(prompt, component)
-            except Exception as exc:
-                if not is_retryable(exc):
-                    raise
-                if self.breaker is not None:
-                    self.breaker.record_failure()
-                attempt += 1
-                if attempt >= self.retry.max_attempts:
-                    raise
-                if self._metrics is not None:
-                    self._metrics.record_retry()
-                delay = self.retry.backoff(attempt, self._rng)
-                clock = getattr(self._inner, "clock", None)
-                if clock is not None:
-                    clock.tick(delay)
-            else:
-                if self.breaker is not None:
-                    self.breaker.record_success()
-                return response
+        with obs.span("llm.complete", component=component) as sp:
+            attempt = 0
+            while True:
+                if self.breaker is not None and not self.breaker.allow():
+                    sp.event("breaker_refused", state=self.breaker.state)
+                    raise DependencyUnavailable(
+                        self.breaker.dependency,
+                        f"{self.breaker.dependency} circuit open; call refused",
+                    )
+                try:
+                    response = self._inner.complete(prompt, component)
+                except Exception as exc:
+                    if not is_retryable(exc):
+                        raise
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                        sp.event(
+                            "attempt_failed",
+                            attempt=attempt + 1,
+                            error=type(exc).__name__,
+                            breaker_state=self.breaker.state,
+                        )
+                    else:
+                        sp.event("attempt_failed", attempt=attempt + 1, error=type(exc).__name__)
+                    attempt += 1
+                    if attempt >= self.retry.max_attempts:
+                        raise
+                    if self._metrics is not None:
+                        self._metrics.record_retry()
+                    delay = self.retry.backoff(attempt, self._rng)
+                    sp.event("retry", attempt=attempt, backoff_seconds=delay)
+                    clock = getattr(self._inner, "clock", None)
+                    if clock is not None:
+                        clock.tick(delay)
+                else:
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                    sp.set_attr("attempts", attempt + 1)
+                    return response
 
     def __getattr__(self, name):
         return getattr(self._inner, name)

@@ -46,6 +46,7 @@ import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import nullcontext
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -56,6 +57,8 @@ from ..ir.docdb import DocumentDatabase
 from ..ir.system import IRSystem, RetrievalResult
 from ..llm.clock import SimulatedLatencyClock
 from ..llm.rule_llm import RuleLLM
+from ..obs import ObservabilityConfig, SlowTurnLog, Tracer, render_prometheus
+from ..obs import trace as obs
 from ..prep.pipeline import PreparationPipeline
 from ..prep.store import ProfileStore
 from ..relational.catalog import Database
@@ -150,6 +153,7 @@ class PneumaService:
         resilience: Optional[ResilienceConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
         storage_dir: Optional[Union[str, Path]] = None,
+        observability: Optional[ObservabilityConfig] = None,
     ):
         self.lake = lake
         self._dim = dim
@@ -157,6 +161,23 @@ class PneumaService:
         self.resilience = resilience if resilience is not None else ResilienceConfig()
         self.fault_plan = fault_plan
         self.metrics = ServiceMetrics()
+        # Tracing is opt-in and bit-transparent when off: with no tracer,
+        # _run_turn calls the serving path directly and the span helpers
+        # across retrieval/SQL/LLM/storage all hit their no-op fast path.
+        self.observability = observability
+        if observability is not None and observability.tracing:
+            self.tracer: Optional[Tracer] = Tracer(
+                seed=observability.trace_seed,
+                clock=observability.clock,
+                max_traces=observability.max_traces,
+            )
+            self.slow_turns: Optional[SlowTurnLog] = SlowTurnLog(
+                threshold_seconds=observability.slow_turn_seconds,
+                capacity=observability.slow_log_capacity,
+            )
+        else:
+            self.tracer = None
+            self.slow_turns = None
         # Crash-safe persistence (optional): opening the store runs the
         # full recovery protocol (WAL replay, torn-tail truncation,
         # quarantine of corrupt segments); the fault plan's storage spec
@@ -497,28 +518,38 @@ class PneumaService:
             with self._registry_lock:
                 if self._shutdown:
                     raise ServiceError("service is shut down")
-            current = self._gate.current
-            build_started = time.perf_counter()
-            bundle = self._build_bundle(narrations=current.narrations, embedder=current.embedder)
-            build_seconds = time.perf_counter() - build_started
-            swap_started = time.perf_counter()
-            self._gate.swap(bundle, drain=drain)
-            swap_seconds = time.perf_counter() - swap_started
-            self.metrics.record_reindex()
-            report = {
-                "build_report": dict(bundle.build_report),
-                "build_seconds": build_seconds,
-                "swap_seconds": swap_seconds,
-                "drained": drain,
-                "generation": self._gate.generation,
-                "index_size": len(bundle.retriever.index),
-            }
-            if self.store is not None:
-                # Swap first, publish second: readers get the new index at
-                # memory speed, and a crash mid-publish leaves the previous
-                # durable snapshot intact (the WAL record is what commits).
-                report["published_generation"] = self._publish_index(bundle.retriever.index)
-            return report
+            trace = (
+                self.tracer.start_trace("reindex", drain=drain)
+                if self.tracer is not None
+                else nullcontext()
+            )
+            with trace:
+                current = self._gate.current
+                build_started = time.perf_counter()
+                with obs.span("reindex.build"):
+                    bundle = self._build_bundle(
+                        narrations=current.narrations, embedder=current.embedder
+                    )
+                build_seconds = time.perf_counter() - build_started
+                swap_started = time.perf_counter()
+                with obs.span("reindex.swap"):
+                    self._gate.swap(bundle, drain=drain)
+                swap_seconds = time.perf_counter() - swap_started
+                self.metrics.record_reindex()
+                report = {
+                    "build_report": dict(bundle.build_report),
+                    "build_seconds": build_seconds,
+                    "swap_seconds": swap_seconds,
+                    "drained": drain,
+                    "generation": self._gate.generation,
+                    "index_size": len(bundle.retriever.index),
+                }
+                if self.store is not None:
+                    # Swap first, publish second: readers get the new index at
+                    # memory speed, and a crash mid-publish leaves the previous
+                    # durable snapshot intact (the WAL record is what commits).
+                    report["published_generation"] = self._publish_index(bundle.retriever.index)
+                return report
 
     # ------------------------------------------------------------------
     # Introspection
@@ -570,7 +601,16 @@ class PneumaService:
             snapshot["storage"] = storage
         if self.fault_plan is not None:
             snapshot["faults"] = self.fault_plan.stats()
+        if self.tracer is not None:
+            snapshot["obs"] = {
+                "tracer": self.tracer.stats(),
+                "slow_turns": self.slow_turns.stats(),
+            }
         return snapshot
+
+    def metrics_text(self) -> str:
+        """The service's metrics in Prometheus text exposition format."""
+        return render_prometheus(self.metrics.registry)
 
     # ------------------------------------------------------------------
     # Internals
@@ -585,6 +625,32 @@ class PneumaService:
         return managed
 
     def _run_turn(
+        self, managed: ManagedSession, message: str, deadline_at: Optional[float]
+    ) -> SeekerResponse:
+        if self.tracer is None:
+            return self._serve_turn(managed, message, deadline_at)
+        # Root the turn's trace on this worker thread: every span the
+        # retrieval/SQL/LLM/storage layers open below nests under it.
+        root = self.tracer.start_trace("turn", session=managed.session_id, user=managed.user)
+        outcome = "failed"
+        try:
+            with root:
+                response = self._serve_turn(managed, message, deadline_at)
+                if isinstance(response, DegradedResponse):
+                    outcome = "shed" if response.reason == "queue-deadline" else "degraded"
+                elif getattr(response, "degraded", False):
+                    outcome = "degraded"
+                else:
+                    outcome = "ok"
+                return response
+        finally:
+            # The root is finished here (the with-block closed it), so its
+            # duration is final — stamping the outcome now covers the
+            # exception path too; the slow-turn log keeps anomalous trees.
+            root.set_attr("outcome", outcome)
+            self.slow_turns.offer(root, outcome)
+
+    def _serve_turn(
         self, managed: ManagedSession, message: str, deadline_at: Optional[float]
     ) -> SeekerResponse:
         try:

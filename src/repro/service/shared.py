@@ -27,6 +27,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from ..obs import trace as obs
 from ..relational.catalog import Database
 from ..retriever.retriever import PneumaRetriever
 from ..retriever.summarizer import NarrationCache, table_fingerprint
@@ -242,12 +243,16 @@ class SwappableRetriever:
         self._gate = gate
 
     def search(self, query: str, k: int = 5, mode: str = "hybrid"):
-        with self._gate.reading() as bundle:
-            return bundle.retriever.search(query, k=k, mode=mode)
+        with obs.span("retrieval.search", k=k, mode=mode):
+            with self._gate.reading() as bundle:
+                obs.set_attr("generation", self._gate.generation)
+                return bundle.retriever.search(query, k=k, mode=mode)
 
     def search_batch(self, queries, k: int = 5, mode: str = "hybrid"):
-        with self._gate.reading() as bundle:
-            return bundle.retriever.search_batch(queries, k=k, mode=mode)
+        with obs.span("retrieval.search_batch", queries=len(queries), k=k, mode=mode):
+            with self._gate.reading() as bundle:
+                obs.set_attr("generation", self._gate.generation)
+                return bundle.retriever.search_batch(queries, k=k, mode=mode)
 
     def column_values(self, table_name: str, column: str, limit: int = 200):
         with self._gate.reading() as bundle:

@@ -25,6 +25,7 @@ import os
 from pathlib import Path
 from typing import Union
 
+from ..obs import trace as obs
 from .crash import NO_CRASH, CrashInjector, SimulatedCrash, crash_point
 
 __all__ = [
@@ -75,30 +76,31 @@ def atomic_write_bytes(
     """Durably replace ``path`` with ``data``: write-temp → fsync →
     rename → fsync-dir.  Readers never observe a partial file."""
     path = Path(path)
-    temp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
-    fd = os.open(os.fspath(temp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
-    try:
+    with obs.span("storage.atomic_write", file=path.name, bytes=len(data)):
+        temp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+        fd = os.open(os.fspath(temp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
         try:
-            os.write(fd, data)
-            crash.reach(CP_ATOMIC_AFTER_TEMP)
-            os.fsync(fd)
-        finally:
-            os.close(fd)
-        crash.reach(CP_ATOMIC_BEFORE_RENAME)
-        os.replace(os.fspath(temp), os.fspath(path))
-    except SimulatedCrash:
-        # A dead process cannot clean up: leave the temp file exactly as
-        # a real crash would, so recovery's leftover sweep is exercised.
-        raise
-    except BaseException:
-        # I/O errors mid-publish should not strand the temp file.
-        try:
-            os.unlink(os.fspath(temp))
-        except OSError:
-            pass
-        raise
-    crash.reach(CP_ATOMIC_AFTER_RENAME)
-    fsync_dir(path.parent)
+            try:
+                os.write(fd, data)
+                crash.reach(CP_ATOMIC_AFTER_TEMP)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            crash.reach(CP_ATOMIC_BEFORE_RENAME)
+            os.replace(os.fspath(temp), os.fspath(path))
+        except SimulatedCrash:
+            # A dead process cannot clean up: leave the temp file exactly as
+            # a real crash would, so recovery's leftover sweep is exercised.
+            raise
+        except BaseException:
+            # I/O errors mid-publish should not strand the temp file.
+            try:
+                os.unlink(os.fspath(temp))
+            except OSError:
+                pass
+            raise
+        crash.reach(CP_ATOMIC_AFTER_RENAME)
+        fsync_dir(path.parent)
 
 
 def atomic_write_json(

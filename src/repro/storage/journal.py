@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Union
 
+from ..obs import trace as obs
 from .crash import NO_CRASH, CrashInjector, crash_point
 
 __all__ = ["Journal", "ReplayResult", "replay_journal"]
@@ -148,16 +149,19 @@ class Journal:
     def append(self, record: dict, sync: bool = True) -> None:
         """Durably append one record (fsynced before returning)."""
         frame = _frame(record)
-        with self._lock:
-            if self._closed:
-                raise ValueError("journal is closed")
-            self._crash.reach(CP_JOURNAL_BEFORE_WRITE)
-            os.write(self._fd, frame)
-            self._crash.reach(CP_JOURNAL_BEFORE_SYNC)
-            if sync:
-                os.fsync(self._fd)
-            self._crash.reach(CP_JOURNAL_AFTER_SYNC)
-            self.appended += 1
+        with obs.span(
+            "storage.wal.append", record=record.get("type", ""), bytes=len(frame), sync=sync
+        ):
+            with self._lock:
+                if self._closed:
+                    raise ValueError("journal is closed")
+                self._crash.reach(CP_JOURNAL_BEFORE_WRITE)
+                os.write(self._fd, frame)
+                self._crash.reach(CP_JOURNAL_BEFORE_SYNC)
+                if sync:
+                    os.fsync(self._fd)
+                self._crash.reach(CP_JOURNAL_AFTER_SYNC)
+                self.appended += 1
 
     def sync(self) -> None:
         """Flush any unsynced appends (no-op when every append synced)."""

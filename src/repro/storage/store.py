@@ -42,6 +42,7 @@ import os
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
+from ..obs import trace as obs
 from ..retriever.index import HybridIndex
 from ..text.embedding import HashingEmbedder
 from . import codec
@@ -258,37 +259,44 @@ class IndexStore:
         generation = self.state.generation + 1
         previous = {kind: ref.file for kind, ref in self.state.segments.items()}
         names = {kind: f"{kind}-{generation:06d}.seg" for kind in _SEGMENT_KINDS}
-        digests = {
-            "fusion": codec.write_fusion_segment(
-                self.segments_dir / names["fusion"], index, crash=self._crash
-            ),
-            "bm25": codec.write_bm25_segment(
-                self.segments_dir / names["bm25"], index.bm25, crash=self._crash
-            ),
-            "hnsw": codec.write_hnsw_segment(
-                self.segments_dir / names["hnsw"], index.vectors, crash=self._crash
-            ),
-        }
-        self._crash.reach(CP_PUBLISH_AFTER_SEGMENTS)
-        record = {
-            "type": "publish",
-            "generation": generation,
-            "segments": {
-                kind: SegmentRef(file=names[kind], payload_blake2b=digests[kind]).to_json()
-                for kind in _SEGMENT_KINDS
-            },
-            "tables": dict(tables or {}),
-        }
-        self.journal.append(record)
-        self.state.apply_publish(record)
-        # The old generation is unreferenced once the record is durable.
-        for old in previous.values():
-            if old not in names.values():
-                try:
-                    (self.segments_dir / old).unlink()
-                except OSError:
-                    pass
-        return generation
+        with obs.span("storage.publish", generation=generation):
+            # Segment order is _SEGMENT_KINDS, same as the crash-injection
+            # matrix expects.
+            writers: Dict[str, Callable] = {
+                "fusion": lambda path: codec.write_fusion_segment(
+                    path, index, crash=self._crash
+                ),
+                "bm25": lambda path: codec.write_bm25_segment(
+                    path, index.bm25, crash=self._crash
+                ),
+                "hnsw": lambda path: codec.write_hnsw_segment(
+                    path, index.vectors, crash=self._crash
+                ),
+            }
+            digests = {}
+            for kind in _SEGMENT_KINDS:
+                with obs.span("storage.segment.write", kind=kind, file=names[kind]):
+                    digests[kind] = writers[kind](self.segments_dir / names[kind])
+            self._crash.reach(CP_PUBLISH_AFTER_SEGMENTS)
+            record = {
+                "type": "publish",
+                "generation": generation,
+                "segments": {
+                    kind: SegmentRef(file=names[kind], payload_blake2b=digests[kind]).to_json()
+                    for kind in _SEGMENT_KINDS
+                },
+                "tables": dict(tables or {}),
+            }
+            self.journal.append(record)
+            self.state.apply_publish(record)
+            # The old generation is unreferenced once the record is durable.
+            for old in previous.values():
+                if old not in names.values():
+                    try:
+                        (self.segments_dir / old).unlink()
+                    except OSError:
+                        pass
+            return generation
 
     # ------------------------------------------------------------------
     # Checkpoint / shutdown
@@ -296,6 +304,10 @@ class IndexStore:
     def checkpoint(self, clean: bool = False) -> None:
         """Fold the WAL into ``MANIFEST.json``; with ``clean=True`` also
         write the clean-shutdown marker and close the journal."""
+        with obs.span("storage.checkpoint", clean=clean):
+            self._checkpoint(clean)
+
+    def _checkpoint(self, clean: bool) -> None:
         self.state.clean_shutdown = clean
         self.state.save(self.manifest_path, crash=self._crash)
         self._crash.reach(CP_SHUTDOWN_BEFORE_TRUNCATE)

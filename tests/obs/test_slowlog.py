@@ -1,0 +1,98 @@
+"""Slow-turn log: threshold retention, anomaly priority, bounded eviction."""
+
+import json
+
+import pytest
+
+from repro.obs import SlowTurnLog, Tracer
+
+
+def finished_turn(duration, **attrs):
+    """A finished root span of the given duration, on a virtual clock."""
+    now = [0.0]
+    tracer = Tracer(clock=lambda: now[0])
+    root = tracer.start_trace("turn", **attrs)
+    now[0] += duration
+    root.__exit__(None, None, None)
+    return root
+
+
+class TestRetention:
+    def test_fast_ok_turns_are_not_retained(self):
+        log = SlowTurnLog(threshold_seconds=0.5)
+        assert log.offer(finished_turn(0.1), "ok") is False
+        assert log.stats()["offered"] == 1
+        assert log.stats()["held"] == 0
+
+    def test_slow_ok_turns_are_retained(self):
+        log = SlowTurnLog(threshold_seconds=0.5)
+        assert log.offer(finished_turn(0.5), "ok") is True
+        assert log.slowest().duration == 0.5
+
+    def test_anomalous_outcomes_retained_regardless_of_latency(self):
+        log = SlowTurnLog(threshold_seconds=100.0)
+        for outcome in ("failed", "degraded", "shed"):
+            assert log.offer(finished_turn(0.001), outcome) is True
+        assert log.stats()["held_by_outcome"] == {"failed": 1, "degraded": 1, "shed": 1}
+
+    def test_zero_threshold_keeps_everything(self):
+        log = SlowTurnLog(threshold_seconds=0.0)
+        assert log.offer(finished_turn(0.0), "ok") is True
+
+
+class TestEviction:
+    def test_fastest_ok_evicted_first(self):
+        log = SlowTurnLog(threshold_seconds=0.0, capacity=2)
+        log.offer(finished_turn(0.1, n=0), "ok")
+        log.offer(finished_turn(0.3, n=1), "ok")
+        assert log.offer(finished_turn(0.2, n=2), "ok") is True
+        held = {e["root"].attrs["n"] for e in log.exemplars()}
+        assert held == {1, 2}  # the 0.1s exemplar lost its slot
+
+    def test_anomalous_outranks_slower_ok(self):
+        log = SlowTurnLog(threshold_seconds=0.0, capacity=2)
+        log.offer(finished_turn(0.9, n=0), "ok")
+        log.offer(finished_turn(0.001, n=1), "failed")
+        # A full log of {slow ok, fast failed}: a new ok turn slower than
+        # the ok exemplar evicts it; the failed exemplar survives.
+        assert log.offer(finished_turn(1.5, n=2), "ok") is True
+        held = {(e["outcome"], e["root"].attrs["n"]) for e in log.exemplars()}
+        assert held == {("failed", 1), ("ok", 2)}
+
+    def test_less_interesting_than_everything_held_is_rejected(self):
+        log = SlowTurnLog(threshold_seconds=0.0, capacity=1)
+        log.offer(finished_turn(0.9), "ok")
+        assert log.offer(finished_turn(0.2), "ok") is False
+        assert log.slowest().duration == 0.9
+
+    def test_exemplars_sorted_most_interesting_first(self):
+        log = SlowTurnLog(threshold_seconds=0.0, capacity=8)
+        log.offer(finished_turn(0.5), "ok")
+        log.offer(finished_turn(0.1), "degraded")
+        log.offer(finished_turn(0.2), "ok")
+        order = [(e["outcome"], e["duration"]) for e in log.exemplars()]
+        assert order == [("degraded", 0.1), ("ok", 0.5), ("ok", 0.2)]
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            SlowTurnLog(capacity=0)
+
+
+class TestDump:
+    def test_dump_jsonl_records_outcome_and_tree(self, tmp_path):
+        log = SlowTurnLog(threshold_seconds=0.0)
+        log.offer(finished_turn(0.25, session="s1"), "degraded")
+        path = tmp_path / "slow.jsonl"
+        assert log.dump_jsonl(path) == 1
+        record = json.loads(path.read_text().strip())
+        assert record["outcome"] == "degraded"
+        assert record["duration"] == 0.25
+        assert record["trace"]["name"] == "turn"
+        assert record["trace"]["attrs"] == {"session": "s1"}
+
+    def test_empty_log_dumps_nothing(self, tmp_path):
+        log = SlowTurnLog()
+        path = tmp_path / "slow.jsonl"
+        assert log.dump_jsonl(path) == 0
+        assert path.read_text() == ""
+        assert log.slowest() is None

@@ -1,0 +1,155 @@
+"""Tracer: deterministic ids, nesting, transparency, ring bounds, export."""
+
+import json
+
+import pytest
+
+from repro.obs import NOOP_SPAN, Tracer, render_span_tree
+from repro.obs import trace as obs
+from repro.obs.trace import derive_id
+
+
+class VirtualClock:
+    """A deterministic clock: every reading advances by ``step`` seconds."""
+
+    def __init__(self, step=0.001):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def traced_turn(tracer):
+    with tracer.start_trace("turn", session="s1") as root:
+        with obs.span("retrieval.search", k=5):
+            with obs.span("retrieval.bm25"):
+                pass
+            obs.event("fusion_done", pool=50)
+        with obs.span("llm.complete") as sp:
+            sp.set_attr("attempts", 1)
+    return root
+
+
+class TestDeterminism:
+    def test_two_runs_identical_trees(self):
+        """Same seed + virtual clock: the exported tree is byte-identical."""
+        trees = []
+        for _ in range(2):
+            tracer = Tracer(seed=7, clock=VirtualClock())
+            trees.append(json.dumps(traced_turn(tracer).to_json(), sort_keys=True))
+        assert trees[0] == trees[1]
+
+    def test_seed_changes_every_id(self):
+        a = traced_turn(Tracer(seed=0, clock=VirtualClock())).to_json()
+        b = traced_turn(Tracer(seed=1, clock=VirtualClock())).to_json()
+        assert a["trace_id"] != b["trace_id"]
+        assert a["span_id"] != b["span_id"]
+
+    def test_ids_are_the_derived_stream(self):
+        tracer = Tracer(seed=3, clock=VirtualClock())
+        root = traced_turn(tracer)
+        assert root.trace_id == derive_id("trace:3", 1, size=12)
+        assert root.span_id == derive_id(root.trace_id, 1)
+        # Depth-first creation order: root, search, bm25, llm.
+        llm = root.find("llm.complete")[0]
+        assert llm.span_id == derive_id(root.trace_id, 4)
+
+    def test_no_wall_clock_leaks_with_virtual_clock(self):
+        clock = VirtualClock(step=0.5)
+        root = traced_turn(Tracer(clock=clock))
+        for span in root.iter_spans():
+            assert span.start <= span.end <= clock.now
+
+
+class TestStructure:
+    def test_nesting_and_parent_ids(self):
+        root = traced_turn(Tracer(clock=VirtualClock()))
+        assert root.span_names() == [
+            "turn", "retrieval.search", "retrieval.bm25", "llm.complete",
+        ]
+        search = root.find("retrieval.search")[0]
+        assert search.parent_id == root.span_id
+        assert root.parent_id is None
+        assert search.children[0].parent_id == search.span_id
+
+    def test_events_and_attrs_recorded(self):
+        root = traced_turn(Tracer(clock=VirtualClock()))
+        search = root.find("retrieval.search")[0]
+        assert search.attrs == {"k": 5}
+        assert search.events[0]["name"] == "fusion_done"
+        assert search.events[0]["attrs"] == {"pool": 50}
+        assert root.find("llm.complete")[0].attrs == {"attempts": 1}
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer(clock=VirtualClock())
+        with pytest.raises(RuntimeError):
+            with tracer.start_trace("turn"):
+                with obs.span("sql.execute"):
+                    raise RuntimeError("boom")
+        root = tracer.traces("turn")[0]
+        assert root.status == "error" and root.attrs["error"] == "RuntimeError"
+        sql = root.find("sql.execute")[0]
+        assert sql.status == "error" and sql.end is not None
+
+    def test_root_exit_clears_thread_context(self):
+        tracer = Tracer(clock=VirtualClock())
+        with tracer.start_trace("turn"):
+            assert obs.active_tracer() is tracer
+        assert obs.active_span() is None
+        assert obs.active_tracer() is None
+
+
+class TestTransparency:
+    def test_helpers_are_noops_without_a_trace(self):
+        assert obs.span("anything", k=1) is NOOP_SPAN
+        obs.event("ignored")  # must not raise
+        obs.set_attr("ignored", 1)
+        with obs.span("still-nothing") as sp:
+            sp.set_attr("a", 1)
+            sp.event("b")
+        assert obs.active_span() is None
+
+    def test_noop_span_is_shared(self):
+        assert obs.span("a") is obs.span("b")
+
+
+class TestRingAndExport:
+    def test_ring_bounded_by_max_traces(self):
+        tracer = Tracer(clock=VirtualClock(), max_traces=3)
+        for i in range(5):
+            with tracer.start_trace("turn", n=i):
+                pass
+        kept = tracer.traces("turn")
+        assert [r.attrs["n"] for r in kept] == [2, 3, 4]
+        stats = tracer.stats()
+        assert stats["traces_started"] == stats["traces_finished"] == 5
+        assert stats["traces_retained"] == 3
+        assert stats["spans_recorded"] == 5
+
+    def test_invalid_max_traces_raises(self):
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+
+    def test_slowest_picks_longest_root(self):
+        clock = VirtualClock(step=0.0)
+        tracer = Tracer(clock=lambda: clock.now)
+        for width in (0.1, 0.9, 0.4):
+            root = tracer.start_trace("turn", width=width)
+            clock.now += width
+            root.__exit__(None, None, None)
+        assert tracer.slowest("turn").attrs["width"] == 0.9
+
+    def test_export_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer(seed=5, clock=VirtualClock())
+        root = traced_turn(tracer)
+        path = tmp_path / "traces.jsonl"
+        assert tracer.export_jsonl(path, name="turn") == 1
+        loaded = json.loads(path.read_text().strip())
+        assert loaded == root.to_json()
+        rendered = render_span_tree(loaded)
+        assert rendered.splitlines()[0].startswith("turn ")
+        assert "├─ retrieval.search" in rendered
+        assert "└─ llm.complete" in rendered
+        assert "!fusion_done" in rendered

@@ -1,0 +1,193 @@
+"""Service-level observability: spans, outcomes, exposition, transparency."""
+
+import pytest
+
+from repro.datasets import build_procurement_lake
+from repro.service import (
+    DegradedResponse,
+    ObservabilityConfig,
+    PneumaService,
+    ServiceMetrics,
+)
+
+RETRIEVAL_QUESTION = (
+    "What is the total purchase order cost impact of the new tariffs by supplier?"
+)
+SQL_QUESTION = "What is the total price of purchase orders by supplier?"
+
+
+@pytest.fixture(scope="module")
+def lake():
+    return build_procurement_lake()
+
+
+def traced_service(lake, **overrides):
+    defaults = dict(slow_turn_seconds=0.0)
+    defaults.update(overrides)
+    return PneumaService(lake, max_workers=2, observability=ObservabilityConfig(**defaults))
+
+
+class TestSpanTrees:
+    def test_turn_trace_covers_every_stage(self, lake):
+        with traced_service(lake) as service:
+            session = service.open_session(user="alice")
+            service.post_turn(session, SQL_QUESTION)
+            root = service.tracer.traces("turn")[0]
+        names = set(root.span_names())
+        # The Seeker loop's stages, nested under one root.
+        assert {"turn", "llm.complete", "action.retrieve", "retrieval.search"} <= names
+        assert {"retrieval.bm25", "retrieval.vector", "retrieval.fusion"} <= names
+        assert {"action.execute_sql", "sql.execute", "sql.run"} <= names
+        assert root.attrs["outcome"] == "ok"
+        assert root.attrs["session"] == session
+        assert root.attrs["user"] == "alice"
+        # Every child closed inside the root's window.
+        for span in root.iter_spans():
+            assert span.end is not None
+            assert root.start <= span.start <= span.end <= root.end
+
+    def test_untraced_service_keeps_no_tracer(self, lake):
+        with PneumaService(lake, max_workers=2) as service:
+            session = service.open_session(user="u")
+            service.post_turn(session, RETRIEVAL_QUESTION)
+            assert service.tracer is None and service.slow_turns is None
+            assert "obs" not in service.stats()
+
+    def test_tracing_disabled_config_is_untraced(self, lake):
+        config = ObservabilityConfig(tracing=False)
+        with PneumaService(lake, max_workers=2, observability=config) as service:
+            assert service.tracer is None
+
+    def test_stats_exposes_obs_accounting(self, lake):
+        with traced_service(lake) as service:
+            session = service.open_session(user="u")
+            service.post_turn(session, RETRIEVAL_QUESTION)
+            obs_stats = service.stats()["obs"]
+        assert obs_stats["tracer"]["traces_finished"] == 1
+        assert obs_stats["tracer"]["spans_recorded"] > 1
+        assert obs_stats["slow_turns"]["offered"] == 1
+
+    def test_trace_ids_deterministic_across_services(self, lake):
+        ids = []
+        for _ in range(2):
+            with traced_service(lake, trace_seed=11) as service:
+                session = service.open_session(user="u")
+                service.post_turn(session, RETRIEVAL_QUESTION)
+                root = service.tracer.traces("turn")[0]
+                ids.append((root.trace_id, root.span_id))
+        assert ids[0] == ids[1]
+
+
+class TestTransparency:
+    def test_responses_identical_with_and_without_tracing(self):
+        def transcript(observability):
+            out = []
+            with PneumaService(
+                build_procurement_lake(), max_workers=2, observability=observability
+            ) as service:
+                session = service.open_session(user="u")
+                for message in (RETRIEVAL_QUESTION, SQL_QUESTION):
+                    response = service.post_turn(session, message)
+                    out.append((response.message, response.state_view, response.degraded))
+            return out
+
+        baseline = transcript(None)
+        assert transcript(ObservabilityConfig(tracing=False)) == baseline
+        assert transcript(ObservabilityConfig()) == baseline
+
+
+class TestOutcomes:
+    def test_failed_turn_classified_and_retained(self, lake):
+        with traced_service(lake, slow_turn_seconds=1000.0) as service:
+            session = service.open_session(user="u")
+
+            def explode(managed, message, deadline_at):
+                raise RuntimeError("injected")
+
+            service._serve_turn = explode
+            with pytest.raises(RuntimeError):
+                service.post_turn(session, RETRIEVAL_QUESTION)
+            root = service.tracer.traces("turn")[0]
+            exemplars = service.slow_turns.exemplars()
+        assert root.status == "error" and root.attrs["error"] == "RuntimeError"
+        # Despite a huge latency threshold, the failed turn is an exemplar.
+        assert [e["outcome"] for e in exemplars] == ["failed"]
+
+    def test_shed_turn_classified(self, lake):
+        with traced_service(lake, slow_turn_seconds=1000.0) as service:
+            session = service.open_session(user="u")
+
+            def shed(managed, message, deadline_at):
+                return DegradedResponse(
+                    session_id=managed.session_id, reason="queue-deadline", message="shed"
+                )
+
+            service._serve_turn = shed
+            service.post_turn(session, RETRIEVAL_QUESTION)
+            root = service.tracer.traces("turn")[0]
+            exemplars = service.slow_turns.exemplars()
+        assert root.attrs["outcome"] == "shed"
+        assert [e["outcome"] for e in exemplars] == ["shed"]
+
+    def test_slow_turn_log_keeps_every_turn_at_zero_threshold(self, lake):
+        with traced_service(lake) as service:
+            session = service.open_session(user="u")
+            service.post_turn(session, RETRIEVAL_QUESTION)
+            service.post_turn(session, SQL_QUESTION)
+            stats = service.slow_turns.stats()
+            slowest = service.slow_turns.slowest()
+        assert stats["offered"] == stats["held"] == 2
+        assert slowest.name == "turn" and slowest.duration > 0
+
+
+class TestMetricsSurface:
+    def test_metrics_text_exposition(self, lake):
+        with traced_service(lake) as service:
+            session = service.open_session(user="u")
+            service.post_turn(session, RETRIEVAL_QUESTION)
+            text = service.metrics_text()
+        assert "# TYPE pneuma_sessions_opened counter" in text
+        assert "pneuma_sessions_opened_total 1" in text
+        assert "# TYPE pneuma_turn_seconds histogram" in text
+        assert 'pneuma_turn_seconds_bucket{le="+Inf"} 1' in text
+        assert "pneuma_turn_seconds_count 1" in text
+
+    def test_snapshot_backward_compatible(self, lake):
+        with PneumaService(lake, max_workers=2) as service:
+            session = service.open_session(user="u")
+            service.post_turn(session, RETRIEVAL_QUESTION)
+            snap = service.metrics.snapshot()
+        # The pre-registry dict contract: int counters, float percentiles,
+        # breaker transitions keyed "dep:old->new".
+        for key in (
+            "sessions_opened", "sessions_closed", "turns_served", "turns_failed",
+            "turns_shed", "turns_degraded", "batch_queries", "retries",
+            "degraded_retrievals", "reindex_swaps",
+        ):
+            assert isinstance(snap[key], int), key
+        assert snap["sessions_opened"] == 1 and snap["turns_served"] == 1
+        for key in ("turn_p50_seconds", "turn_p95_seconds", "turn_p99_seconds",
+                    "turn_mean_seconds"):
+            assert isinstance(snap[key], float) and snap[key] > 0
+        assert snap["breaker_transitions"] == {}
+
+    def test_breaker_transition_labels_round_trip(self):
+        metrics = ServiceMetrics()
+        metrics.record_breaker_transition("llm", "closed", "open")
+        metrics.record_breaker_transition("llm", "closed", "open")
+        metrics.record_breaker_transition("vector", "open", "half-open")
+        snap = metrics.snapshot()
+        assert snap["breaker_transitions"] == {
+            "llm:closed->open": 2,
+            "vector:open->half-open": 1,
+        }
+        text_value = metrics.registry.get("pneuma_breaker_transitions")
+        assert text_value.labels("llm", "closed", "open").value == 2
+
+    def test_turn_latency_single_sort(self):
+        metrics = ServiceMetrics()
+        for v in (0.3, 0.1, 0.2):
+            metrics.record_turn(v)
+        assert metrics.turn_latency(0) == 0.1
+        assert metrics.turn_latency(100) == 0.3
+        assert metrics.turn_latency(50) == pytest.approx(0.2)

@@ -138,6 +138,16 @@ def main() -> None:
     )
     print()
 
+    # ---------------------------------------------- Scenario grid coverage
+    # KU-matrix pattern coverage over planted investigation scenarios
+    # (stress modes included); writes BENCH_scenario_coverage.json.
+    coverage = repo_root / "benchmarks" / "bench_scenario_coverage.py"
+    coverage_args = [sys.executable, str(coverage)]
+    if not args.full_table1:
+        coverage_args.append("--smoke")
+    subprocess.run(coverage_args, check=True, env=env, cwd=repo_root)
+    print()
+
     # --------------------------------------------------- Observability cost
     # Tracing transparency, <=5% overhead, span-tree completeness, and
     # slow-turn capture; writes BENCH_observability.json.

@@ -57,7 +57,10 @@ def scaled(n: int, scale: float, minimum: int = 40) -> int:
 
 
 def build_planted_catalog(
-    seed: int = 11, n_tables: int = 8, rows: int = 1500
+    seed: int = 11,
+    n_tables: int = 8,
+    rows: int = 1500,
+    rng: Optional[np.random.Generator] = None,
 ) -> Tuple[Any, List[Tuple[str, str, str, str]]]:
     """A synthetic catalog with planted FK->PK joins and distractor columns.
 
@@ -69,13 +72,18 @@ def build_planted_catalog(
     date windows — are constructed to *not* overlap across tables, which
     makes the planted list the discovery ground truth.
 
+    Pass an explicit ``rng`` to drive the draws from a caller-owned seeded
+    generator (scenario grids build many catalogs cell-by-cell from one
+    stream); ``seed`` then only names the lake.
+
     Returns ``(lake, planted)`` where ``planted`` is a list of
     ``(fk_table, fk_column, pk_table, pk_column)`` tuples.
     """
     from ..relational.catalog import Database
     from ..relational.table import Table
 
-    rng = make_rng(seed)
+    if rng is None:
+        rng = make_rng(seed)
     names = [f"rel_{i:02d}" for i in range(n_tables)]
     lake = Database(f"planted_{seed}")
     planted: List[Tuple[str, str, str, str]] = []

@@ -7,7 +7,12 @@ from .accuracy_eval import (
     evaluate_accuracy,
     evaluate_full_context,
 )
-from .convergence_eval import ConvergenceResult, build_sim_llm, evaluate_convergence
+from .convergence_eval import (
+    ClassBreakdown,
+    ConvergenceResult,
+    build_sim_llm,
+    evaluate_convergence,
+)
 from .cost_eval import CostRow, evaluate_costs
 from .report import (
     render_context_overflow,
@@ -19,6 +24,7 @@ from .report import (
 
 __all__ = [
     "evaluate_convergence",
+    "ClassBreakdown",
     "ConvergenceResult",
     "build_sim_llm",
     "evaluate_accuracy",

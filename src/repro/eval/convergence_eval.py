@@ -26,6 +26,20 @@ def build_sim_llm(model_name: str = "GPT-4o", **kwargs) -> RuleLLM:
 
 
 @dataclass
+class ClassBreakdown:
+    """Convergence within one scenario class (a question's ``design``)."""
+
+    scenario_class: str
+    total: int
+    converged: int
+    median_turns: float
+
+    @property
+    def percentage(self) -> float:
+        return 100.0 * self.converged / self.total if self.total else 0.0
+
+
+@dataclass
 class ConvergenceResult:
     system: str
     dataset: str
@@ -34,10 +48,33 @@ class ConvergenceResult:
     median_turns: float
     avg_seconds_per_prompt: float = 0.0
     outcomes: List[SimulationOutcome] = field(default_factory=list)
+    #: Per-scenario-class breakdown keyed by ``Question.design`` (insertion
+    #: order follows first appearance in the dataset).  The aggregate
+    #: fields above are kept as-is for back-compat.
+    by_class: Dict[str, ClassBreakdown] = field(default_factory=dict)
 
     @property
     def percentage(self) -> float:
         return 100.0 * self.converged / self.total if self.total else 0.0
+
+
+def _class_breakdowns(
+    questions, outcomes: List[SimulationOutcome], max_turns: int
+) -> Dict[str, ClassBreakdown]:
+    """Group aligned (question, outcome) pairs by the question's design."""
+    grouped: Dict[str, List[SimulationOutcome]] = {}
+    for question, outcome in zip(questions, outcomes):
+        grouped.setdefault(question.design or "unclassified", []).append(outcome)
+    breakdowns: Dict[str, ClassBreakdown] = {}
+    for scenario_class, members in grouped.items():
+        turns = [o.turns if o.converged else max_turns for o in members]
+        breakdowns[scenario_class] = ClassBreakdown(
+            scenario_class=scenario_class,
+            total=len(members),
+            converged=sum(o.converged for o in members),
+            median_turns=float(statistics.median(turns)) if turns else 0.0,
+        )
+    return breakdowns
 
 
 def evaluate_convergence(
@@ -76,6 +113,7 @@ def evaluate_convergence(
                     sum(seconds) / len(seconds) if seconds else 0.0
                 ),
                 outcomes=outcomes,
+                by_class=_class_breakdowns(dataset.questions, outcomes, max_turns),
             )
         )
     return results

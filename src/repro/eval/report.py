@@ -70,6 +70,14 @@ def render_convergence_figure(results: Sequence[ConvergenceResult], title: str) 
             f"{r.system:<18}{r.median_turns:>14.1f}{r.percentage:>14.1f}%"
             f"{r.avg_seconds_per_prompt:>14.2f}"
         )
+        # Per-scenario-class breakdown (aggregate row above stays for
+        # back-compat): one indented row per question design class.
+        for breakdown in r.by_class.values():
+            lines.append(
+                f"  - {breakdown.scenario_class:<14}{breakdown.median_turns:>14.1f}"
+                f"{breakdown.percentage:>14.1f}%"
+                f"{'':>14} ({breakdown.converged}/{breakdown.total})"
+            )
     # ASCII scatter: 11 rows (100..0 by 10), 31 cols (0..15 by 0.5).
     grid = [[" "] * 31 for _ in range(11)]
     markers = {}

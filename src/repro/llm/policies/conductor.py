@@ -16,7 +16,13 @@ from __future__ import annotations
 from typing import Any, Dict, List, Mapping, Optional
 
 from ..prompts import render_response, section_json
-from ..semantics import SchemaView, content_tokens, detect_aggregate
+from ..semantics import (
+    SchemaView,
+    content_tokens,
+    detect_aggregate,
+    name_match_score,
+    score_table,
+)
 from .planning import build_plan, plan_to_json
 
 
@@ -62,7 +68,9 @@ class ConductorPolicy:
                 "The action limit was reached; summarizing progress for the user.",
                 {
                     "kind": "message_user",
-                    "message": self._summary_message(state, tables, last_result, last_error),
+                    "message": self._summary_message(
+                        state, tables, last_result, last_error, user_message
+                    ),
                 },
             )
 
@@ -82,6 +90,15 @@ class ConductorPolicy:
                     f"The user now mentions {residual}, which none of my retrieved "
                     "documents cover; retrieving again before replanning.",
                     {"kind": "retrieve", "query": " ".join(residual)},
+                )
+            probe = self._connection_probe(user_message, tables)
+            if probe:
+                anchor_table, query = probe
+                return self._emit(
+                    f"The user asks what connects to {anchor_table!r}; tables that "
+                    "reference it carry its name in their foreign-key columns, so I "
+                    "will pivot-retrieve on that pattern.",
+                    {"kind": "retrieve", "query": query},
                 )
 
         if not tables:
@@ -154,6 +171,15 @@ class ConductorPolicy:
                     "a target schema and a SQL query over the materialized table.",
                     self._update_state_action(plan, tables, docs, effective_intent),
                 )
+            linked = self._enrichment_targets(user_message, tables)
+            if len(linked) >= 2:
+                names = [schema.table for _, schema, _ in linked]
+                return self._emit(
+                    f"The user wants columns of {names} linked row-by-row; I will "
+                    "reify one target table spanning them and let the alignment "
+                    "compiler find the join path through discovered candidates.",
+                    self._enrichment_state_action(linked),
+                )
             return self._emit(
                 "The user is exploring; I will reify a browsing schema over the most "
                 "relevant table so they can see what is available.",
@@ -161,20 +187,23 @@ class ConductorPolicy:
             )
 
         # 4. Materialize T if the spec exists but the instance does not.
+        # Newest spec first: it reifies the *current* turn's need; earlier
+        # specs left pending by an interrupted turn should not starve it.
         spec_names = [t["name"] for t in state.get("T", [])]
         materialized = set(state.get("materialized", []))
         pending = [name for name in spec_names if name not in materialized]
         if pending and "materialize" not in kinds and not last_error:
             return self._emit(
-                f"T defines {pending[0]!r} but it is not materialized yet; Q cannot "
+                f"T defines {pending[-1]!r} but it is not materialized yet; Q cannot "
                 "run until the Materializer populates it.",
-                {"kind": "materialize", "table": pending[0], "note": user_message},
+                {"kind": "materialize", "table": pending[-1], "note": user_message},
             )
 
-        # 5. Execute Q once T is materialized.
+        # 5. Execute Q once the spec it queries (the newest) is materialized.
         if (
             state.get("Q")
-            and not pending
+            and spec_names
+            and spec_names[-1] in materialized
             and last_result is None
             and "execute_sql" not in kinds
             and not last_error
@@ -190,7 +219,7 @@ class ConductorPolicy:
             "I have enough to report back; ending the sequence with a user-facing "
             "message as instructed.",
             {"kind": "message_user", "message": self._summary_message(
-                state, tables, last_result, last_error
+                state, tables, last_result, last_error, user_message
             )},
         )
 
@@ -201,8 +230,19 @@ class ConductorPolicy:
         "largest smallest least most median middl standard deviate deviation "
         "correlate ratio percentage round decimal place assum linearly "
         "interpolat first last record read measur taken collect level "
-        "exceed chang rang what which how much data".split()
+        "exceed chang rang what which how much data "
+        "pleas link reach give show alongsid connect connection other "
+        "trac trail chain start study surround understand overview hold "
+        "partner every tabl".split()
     )
+
+    #: Stemmed cues that the user wants rows of several tables linked
+    #: together (enrichment), rather than a computation over one.
+    _ENRICH_CUES = frozenset("link alongsid enrich pair join".split())
+
+    #: Stemmed cues that the user is asking what *connects to* known data —
+    #: the walk step of an investigation whose endpoint is still unknown.
+    _CONNECT_CUES = frozenset("connect connection link trail chain".split())
 
     def _residual_tokens(self, message: str, docs, grounded) -> List[str]:
         """Question tokens covered by no retrieved document or grounded value."""
@@ -225,6 +265,67 @@ class ConductorPolicy:
             if token not in residual:
                 residual.append(token)
         return residual[:6]
+
+    def _enrichment_targets(self, message: str, tables: List[SchemaView]):
+        """Retrieved tables whose columns the message names fully.
+
+        An enrichment request ("link X to Y, show x alongside y") names one
+        column per endpoint table.  A table qualifies only when its best
+        column clears the full-name threshold (0.6 — partial overlaps such
+        as foreign-key columns sharing one token stay below it).  Results
+        are ordered by where the column is named in the message, so the
+        reified spec lists endpoints in the user's order.
+        """
+        from ...text.tokenize import tokenize
+
+        tokens = content_tokens(message)
+        if not set(tokens) & self._ENRICH_CUES:
+            return []
+        matched = []
+        for schema in tables:
+            best_score, best_col = 0.0, None
+            for col in schema.columns:
+                score = name_match_score(tokens, col.name)
+                if score > best_score:
+                    best_score, best_col = score, col
+            if best_col is None or best_score <= 0.6:
+                continue
+            position = min(
+                (tokens.index(t) for t in tokenize(best_col.name) if t in tokens),
+                default=len(tokens),
+            )
+            matched.append((position, schema, best_col))
+        matched.sort(key=lambda m: m[0])
+        return matched
+
+    def _connection_probe(self, message: str, tables: List[SchemaView]):
+        """A pivot query for "what connects to <known table>?" questions.
+
+        Tables that reference another carry its name inside their
+        foreign-key columns (``vendor_custody_ref``), so retrieving on the
+        known table's name plus reference words surfaces its children even
+        though the user cannot name them yet.  Fires only when the message
+        has a connection cue, names a table already retrieved, and is not
+        itself a full enrichment request (which needs no more discovery).
+        """
+        from ...text.tokenize import tokenize
+
+        tokens = content_tokens(message)
+        if not set(tokens) & self._CONNECT_CUES:
+            return None
+        if len(self._enrichment_targets(message, tables)) >= 2:
+            return None
+        named = []
+        for schema in tables:
+            table_tokens = tokenize(schema.table)
+            if table_tokens and all(t in tokens for t in table_tokens):
+                named.append((max(tokens.index(t) for t in table_tokens), schema))
+        if not named:
+            return None
+        named.sort(key=lambda m: m[0])
+        anchor = named[-1][1]
+        query_tokens = list(dict.fromkeys(tokenize(anchor.table))) + ["ref", "reference"]
+        return anchor.table, " ".join(query_tokens)
 
     # ------------------------------------------------------------------
     # Action builders
@@ -356,6 +457,35 @@ class ConductorPolicy:
                 plan.measure_expr = f"{plan.measure} * (1 + {tariff_new})"
         return specs
 
+    def _enrichment_state_action(self, matched) -> Dict[str, Any]:
+        """Reify an enrichment need as one target spanning several tables.
+
+        The spec carries only the named endpoint columns and base tables;
+        the bridge tables of a multi-hop chain are deliberately absent —
+        resolving the path through discovered join candidates is the
+        alignment compiler's job, not the policy's.
+        """
+        base_tables = [schema.table for _, schema, _ in matched]
+        target = "linked_" + "_".join(base_tables)
+        columns = [
+            {"name": col.name, "dtype": col.dtype, "source": f"{schema.table}.{col.name}"}
+            for _, schema, col in matched
+        ]
+        table_spec = {
+            "name": target,
+            "columns": columns,
+            "base_tables": base_tables,
+            "integration": {},
+            "notes": f"enrichment linking {' and '.join(base_tables)}",
+        }
+        selected = ", ".join(c["name"] for c in columns)
+        return {
+            "kind": "update_state",
+            "table_spec": table_spec,
+            "queries": [f"SELECT {selected} FROM {target} LIMIT 5"],
+            "plan": None,
+        }
+
     def _exploratory_state_action(self, intent: str, tables: List[SchemaView]) -> Dict[str, Any]:
         from .planning import choose_primary_table
 
@@ -395,6 +525,7 @@ class ConductorPolicy:
         tables: List[SchemaView],
         last_result: Any,
         last_error: str,
+        message: str = "",
     ) -> str:
         if last_error:
             return (
@@ -409,9 +540,17 @@ class ConductorPolicy:
         )
         if browsing:
             # Exploration: surface what is available across the top tables,
-            # not just the one we picked to browse.
+            # not just the one we picked to browse.  Rank by relevance to
+            # the latest message (stable, so untouched ties keep retrieval
+            # order): a freshly discovered table the user just asked about
+            # must not be crowded out by older working-memory documents.
+            ranked = sorted(
+                range(len(tables)),
+                key=lambda i: (-score_table(message, tables[i]), i),
+            ) if message else range(len(tables))
             overview = []
-            for schema in tables[:3]:
+            for index in list(ranked)[:3]:
+                schema = tables[index]
                 overview.append(
                     f"{schema.table} has variables: {', '.join(schema.column_names())}"
                 )

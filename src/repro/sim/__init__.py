@@ -2,6 +2,7 @@
 
 from .personas import BEHAVIOR, PERSONAS, SCENARIO, persona_for
 from .runner import ConversationalSystem, SimTurn, SimulationOutcome, SimulationRunner
+from .scenario import ScenarioPersona, ScenarioTranscript, run_scenario
 
 __all__ = [
     "SimulationRunner",
@@ -12,4 +13,7 @@ __all__ = [
     "PERSONAS",
     "SCENARIO",
     "BEHAVIOR",
+    "ScenarioPersona",
+    "ScenarioTranscript",
+    "run_scenario",
 ]

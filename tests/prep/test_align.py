@@ -212,6 +212,81 @@ class TestRefusals:
             )
 
 
+class TestPlantedChains:
+    """Alignment on generated 3-hop planted chains (scenario ground truth)."""
+
+    @pytest.fixture
+    def scenario(self):
+        from repro.scenarios import ScenarioCell, build_scenario
+
+        cell = ScenarioCell(
+            endpoint_known=True,
+            relation_known=True,
+            hops=3,
+            intent="enrich",
+            entity_class="subject",
+            relation_type="custody",
+        )
+        return build_scenario(cell, seed=13)
+
+    def endpoint_spec(self, scenario):
+        (root, root_col), (deep, deep_col) = scenario.request_columns()
+        return spec(
+            f"linked_{root}_{deep}",
+            [(root_col, f"{root}.{root_col}"), (deep_col, f"{deep}.{deep_col}")],
+            base=[root, deep],
+        )
+
+    def test_three_hop_chain_connects_through_both_bridges(self, scenario):
+        compiler = AlignmentCompiler(
+            scenario.lake, PreparationPipeline(scenario.lake).join_candidates()
+        )
+        plan = compiler.compile(self.endpoint_spec(scenario))
+        assert set(plan.tables) == set(scenario.chain)  # all 4 chain tables
+        assert len(plan.joins) == 3
+        compiled = {
+            frozenset([(j.left_table, j.left_column), (j.right_table, j.right_column)])
+            for j in plan.joins
+        }
+        assert compiled == scenario.expected_edges()
+
+    def test_three_hop_rows_match_planted_join_oracle(self, scenario):
+        compiler = AlignmentCompiler(
+            scenario.lake, PreparationPipeline(scenario.lake).join_candidates()
+        )
+        table = compiler.execute(compiler.compile(self.endpoint_spec(scenario)))
+        (_, root_col), (_, deep_col) = scenario.request_columns()
+        got = sorted(
+            zip(table.column_values(root_col), table.column_values(deep_col)), key=repr
+        )
+        assert got == sorted(scenario.oracle_rows(), key=repr)
+
+    def test_distractor_bridge_is_not_a_join_path(self):
+        # break_chain drops the true first bridge; the remaining
+        # "<bridge>_archive" distractor mimics its name and foreign-key
+        # column but draws values from a disjoint domain, so discovery
+        # finds no containment and alignment must refuse rather than
+        # compile a textually plausible, relationally dead hop.
+        from repro.scenarios import ScenarioCell, build_scenario
+
+        cell = ScenarioCell(
+            endpoint_known=True,
+            relation_known=True,
+            hops=3,
+            intent="enrich",
+            entity_class="subject",
+            relation_type="custody",
+        )
+        scenario = build_scenario(cell, seed=13, break_chain=True)
+        assert not scenario.lake.has_table(scenario.chain[1])
+        assert any(d.endswith("_archive") for d in scenario.distractors)
+        compiler = AlignmentCompiler(
+            scenario.lake, PreparationPipeline(scenario.lake).join_candidates()
+        )
+        with pytest.raises(AlignmentError, match="no discovered join path"):
+            compiler.compile(self.endpoint_spec(scenario))
+
+
 class TestPipelineFacade:
     def test_prepare_compiles_and_executes(self, lake):
         pipeline = PreparationPipeline(lake)

@@ -1,0 +1,156 @@
+"""Planted scenarios: chain structure, oracle, determinism, stress modes."""
+
+import pytest
+
+from repro.llm.semantics import detect_aggregate
+from repro.scenarios import ScenarioCell, build_scenario, enumerate_grid
+from repro.scenarios.generator import derive_seed
+from repro.sim.scenario import ScenarioPersona
+
+
+def cell(ku="KK", hops=2, intent="enrich", entity_class="subject", relation="custody"):
+    return ScenarioCell(
+        endpoint_known=ku[0] == "K",
+        relation_known=ku[1] == "K",
+        hops=hops,
+        intent=intent,
+        entity_class=entity_class,
+        relation_type=relation,
+    )
+
+
+class TestDeriveSeed:
+    def test_stable_and_tag_sensitive(self):
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+        assert derive_seed(7, "a", 1) != derive_seed(7, "a", 2)
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+
+class TestChainStructure:
+    def test_chain_tables_edges_and_relations(self):
+        s = build_scenario(cell(hops=3), seed=5)
+        assert len(s.chain) == 4
+        assert len(s.edges) == 3
+        assert s.relations[0] == s.cell.relation_type
+        assert len(set(s.relations)) == 3  # distinct relation word per edge
+        for i, edge in enumerate(s.edges):
+            assert edge.child == s.chain[i + 1]
+            assert edge.parent == s.chain[i]
+            singular = s.nouns[edge.parent]
+            assert edge.fk == f"{singular}_{s.relations[i]}_ref"
+            assert edge.pk == f"{singular}_id"
+            child = s.lake.resolve_table(edge.child)
+            assert edge.fk in child.column_names()
+
+    def test_id_domains_are_disjoint(self):
+        s = build_scenario(cell(hops=2), seed=5)
+        domains = []
+        for table in s.chain + s.distractors:
+            singular = s.nouns.get(table)
+            t = s.lake.resolve_table(table)
+            id_col = next(c for c in t.column_names() if c.endswith("_id"))
+            values = [v for v in t.column_values(id_col) if v is not None]
+            domains.append(set(values))
+        for i, a in enumerate(domains):
+            for b in domains[i + 1 :]:
+                assert not (a & b)
+
+    def test_pseudo_bridge_mimics_name_but_shares_no_values(self):
+        s = build_scenario(cell(hops=2), seed=5)
+        archive = f"{s.chain[1]}_archive"
+        assert archive in s.distractors
+        real_fk = s.edges[0].fk
+        fake = s.lake.resolve_table(archive)
+        assert real_fk in fake.column_names()  # textually plausible
+        root_ids = set(s.lake.resolve_table(s.root).column_values(s.edges[0].pk))
+        fake_refs = {v for v in fake.column_values(real_fk) if v is not None}
+        assert not (root_ids & fake_refs)  # relationally dead
+
+    def test_request_columns_follow_intent(self):
+        enrich = build_scenario(cell(intent="enrich"), seed=5)
+        for table, col in enrich.request_columns():
+            assert col == enrich.attrs[table]
+        discover = build_scenario(cell(intent="discover"), seed=5)
+        for table, col in discover.request_columns():
+            assert col == discover.labels[table]
+
+
+class TestOracle:
+    def test_one_hop_oracle_matches_sql_inner_join(self):
+        s = build_scenario(cell(hops=1), seed=9)
+        (root, root_col), (deep, deep_col) = s.request_columns()
+        edge = s.edges[0]
+        joined = s.lake.execute(
+            f"SELECT {root}.{root_col}, {deep}.{deep_col} "
+            f"FROM {deep} JOIN {root} ON {deep}.{edge.fk} = {root}.{edge.pk}"
+        )
+        got = sorted(
+            zip(joined.column_values(root_col), joined.column_values(deep_col)),
+            key=repr,
+        )
+        assert got == sorted(s.oracle_rows(), key=repr)
+
+    def test_null_foreign_keys_drop_rows(self):
+        s = build_scenario(cell(hops=1), seed=9)
+        deep = s.lake.resolve_table(s.deep)
+        non_null = sum(1 for v in deep.column_values(s.edges[0].fk) if v is not None)
+        assert non_null < deep.num_rows  # the generator planted some nulls
+        assert len(s.oracle_rows()) == non_null
+
+
+class TestDeterminism:
+    def test_same_seed_rebuilds_identical_lakes(self):
+        a = build_scenario(cell(hops=2), seed=7)
+        b = build_scenario(cell(hops=2), seed=7)
+        assert a.chain == b.chain and a.relations == b.relations
+        assert a.lake.table_names() == b.lake.table_names()
+        for name in a.lake.table_names():
+            assert (
+                a.lake.resolve_table(name).to_columns()
+                == b.lake.resolve_table(name).to_columns()
+            )
+
+    def test_different_cells_never_share_draws(self):
+        a = build_scenario(cell(hops=2, intent="enrich"), seed=7)
+        b = build_scenario(cell(hops=2, intent="discover"), seed=7)
+        assert a.attrs != b.attrs or a.chain != b.chain
+
+
+class TestStressModes:
+    def test_drift_plan_targets_the_deep_request_column(self):
+        s = build_scenario(cell(ku="KU", hops=1), seed=7, stress="drift")
+        assert s.drift is not None and not s.drift.applied
+        assert s.drift.table == s.deep
+        assert s.drift.old_column == s.attrs[s.deep]
+        assert "_revised_" in s.drift.new_column
+
+    def test_noisy_twins_shadow_endpoints_without_false_columns(self):
+        s = build_scenario(cell(hops=2), seed=7, stress="noisy")
+        chain_attr_words = {col.split("_", 1)[1] for col in s.attrs.values()}
+        for endpoint in (s.root, s.deep):
+            twin = f"{endpoint}_registry"
+            assert twin in s.distractors
+            for col in s.lake.resolve_table(twin).column_names():
+                assert col.split("_", 1)[1].split("_")[-1] not in chain_attr_words
+
+    def test_break_chain_drops_the_first_bridge(self):
+        s = build_scenario(cell(hops=2), seed=7, break_chain=True)
+        assert s.broken
+        assert not s.lake.has_table(s.chain[1])
+
+    def test_break_chain_requires_a_bridge(self):
+        with pytest.raises(ValueError, match="hops >= 2"):
+            build_scenario(cell(hops=1), seed=7, break_chain=True)
+
+
+class TestPersonaTemplates:
+    def test_no_template_trips_the_aggregate_detector(self):
+        # Scenario needs are enrichment/discovery needs; a persona message
+        # that accidentally reads as a computation would derail the
+        # conductor into aggregate SQL instead of reification.
+        for grid_cell in enumerate_grid():
+            scenario = build_scenario(grid_cell, seed=7)
+            persona = ScenarioPersona(scenario)
+            messages = [persona._opener(), persona._probe(), persona._final_request()]
+            for message in messages:
+                assert detect_aggregate(message) is None, message

@@ -1,0 +1,66 @@
+"""The scenario grid: exhaustive, deterministic, well-typed cells."""
+
+from repro.scenarios import (
+    ATTRIBUTE_WORDS,
+    ENTITY_CLASSES,
+    RELATION_TYPES,
+    ScenarioCell,
+    enumerate_grid,
+)
+
+
+class TestEnumerateGrid:
+    def test_covers_the_full_ku_by_hops_by_intent_cross(self):
+        cells = enumerate_grid()
+        assert len(cells) == 24  # 4 KU cells x 3 hop depths x 2 intents
+        assert len(cells) >= 16  # the issue's coverage floor
+        combos = {(c.ku_code, c.hops, c.intent) for c in cells}
+        assert combos == {
+            (ku, hops, intent)
+            for ku in ["KK", "KU", "UK", "UU"]
+            for hops in (1, 2, 3)
+            for intent in ("discover", "enrich")
+        }
+
+    def test_cell_ids_are_unique_and_descriptive(self):
+        cells = enumerate_grid()
+        ids = [c.cell_id for c in cells]
+        assert len(set(ids)) == len(ids)
+        assert "KK-1hop-discover" in ids
+        assert "UU-3hop-enrich" in ids
+
+    def test_derived_axes_are_all_exercised(self):
+        cells = enumerate_grid()
+        assert {c.entity_class for c in cells} == set(ENTITY_CLASSES)
+        assert {c.relation_type for c in cells} == set(RELATION_TYPES)
+
+    def test_enumeration_is_deterministic(self):
+        assert enumerate_grid() == enumerate_grid()
+
+
+class TestVocabularies:
+    def test_entity_classes_do_not_collide(self):
+        plurals = [p for pairs in ENTITY_CLASSES.values() for p, _ in pairs]
+        assert len(set(plurals)) == len(plurals)
+
+    def test_singulars_prefix_their_plurals(self):
+        for pairs in ENTITY_CLASSES.values():
+            for plural, singular in pairs:
+                assert plural.startswith(singular[:4])
+
+    def test_attribute_words_are_distinct(self):
+        assert len(set(ATTRIBUTE_WORDS)) == len(ATTRIBUTE_WORDS)
+
+
+class TestScenarioCell:
+    def test_ku_code_letters(self):
+        cell = ScenarioCell(
+            endpoint_known=True,
+            relation_known=False,
+            hops=2,
+            intent="discover",
+            entity_class="subject",
+            relation_type="custody",
+        )
+        assert cell.ku_code == "KU"
+        assert cell.cell_id == "KU-2hop-discover"
